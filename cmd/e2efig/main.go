@@ -1,0 +1,179 @@
+// Command e2efig regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	e2efig -fig all                 # everything (EXPERIMENTS.md content)
+//	e2efig -fig 4a -dur 400ms       # one figure, longer runs
+//	e2efig -fig 4a -trace out.log   # also dump the raw ethtool-style log
+//	e2efig -analyze out.log         # offline analysis of a dumped log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"e2ebatch/internal/figures"
+	"e2ebatch/internal/tcpsim"
+	"e2ebatch/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which figure to regenerate: 1, 2, 4a, 4b, toggle, hints, aimd, tick, exchange, multiconn, timeline, tail, gro, cscan, bandits, loss, rep, all")
+		dur      = flag.Duration("dur", 300*time.Millisecond, "virtual duration of each run")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+		rateList = flag.String("rates", "", "comma-separated offered loads in RPS (default: figure-specific grid)")
+		traceOut = flag.String("trace", "", "dump a raw counter log for one 35 kRPS batching-off run to this file")
+		analyze  = flag.String("analyze", "", "offline-analyze a counter log dumped with -trace and exit")
+		batch    = flag.Int("syscall-batch", 4, "requests per send(2) in the hints experiment")
+	)
+	flag.Parse()
+
+	if *analyze != "" {
+		if err := analyzeLog(*analyze); err != nil {
+			fmt.Fprintln(os.Stderr, "e2efig:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cal := figures.DefaultCalib()
+	rates := figures.DefaultFig4Rates()
+	if *rateList != "" {
+		rates = nil
+		for _, f := range strings.Split(*rateList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "e2efig: bad rate %q\n", f)
+				os.Exit(2)
+			}
+			rates = append(rates, v)
+		}
+	}
+
+	if *traceOut != "" {
+		if err := dumpTrace(cal, *traceOut, *dur, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "e2efig:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("raw counter log written to %s\n", *traceOut)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "1":
+			figures.WriteFig1(os.Stdout, figures.Fig1())
+		case "2":
+			figures.WriteFig2(os.Stdout, figures.Fig2(cal, *dur, *seed))
+		case "4a":
+			figures.WriteFig4(os.Stdout, figures.Fig4a(cal, rates, *dur, *seed))
+		case "tail":
+			figures.WriteTail(os.Stdout, figures.Fig4a(cal, rates, *dur, *seed))
+		case "4b":
+			figures.WriteFig4(os.Stdout, figures.Fig4b(cal, rates, *dur, *seed))
+		case "toggle":
+			tr := rates
+			if *rateList == "" {
+				tr = []float64{10000, 30000, 45000, 60000}
+			}
+			figures.WriteToggle(os.Stdout, figures.Toggle(cal, tr, *dur, *seed))
+		case "hints":
+			hr := rates
+			if *rateList == "" {
+				hr = []float64{10000, 30000}
+			}
+			figures.WriteHints(os.Stdout, figures.Hints(cal, hr, *dur, *seed, *batch))
+		case "aimd":
+			ar := rates
+			if *rateList == "" {
+				ar = []float64{10000, 60000}
+			}
+			figures.WriteAIMD(os.Stdout, figures.AIMD(cal, ar, *dur, *seed))
+		case "tick":
+			ivs := []time.Duration{200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond}
+			figures.WriteTickAblation(os.Stdout, figures.TickAblation(cal, 50000, ivs, *dur, *seed))
+		case "timeline":
+			figures.WriteTimeline(os.Stdout, figures.Timeline(cal, 50000, *dur, *seed))
+		case "rep":
+			figures.WriteReplicated(os.Stdout, figures.ReplicatedFig4a(cal, rates, *dur, []int64{*seed, *seed + 12, *seed + 94}))
+		case "loss":
+			figures.WriteLoss(os.Stdout, figures.LossRobustness(cal, 20000, []float64{0, 0.001, 0.01, 0.05}, *dur, *seed))
+		case "bandits":
+			figures.WritePolicyCompare(os.Stdout, figures.PolicyCompare(cal, []float64{10000, 45000, 60000}, *dur, *seed))
+		case "cscan":
+			figures.WriteCScan(os.Stdout, figures.CScan(cal, []float64{1, 1.25, 1.5, 1.75, 2, 2.5}, *dur, *seed))
+		case "gro":
+			figures.WriteGROAblation(os.Stdout, figures.GROAblation(cal, []float64{25000, 40000, 55000, 70000}, *dur, *seed))
+		case "multiconn":
+			figures.WriteMultiConn(os.Stdout, figures.MultiConn(cal, 4, 50000, *dur, *seed))
+		case "exchange":
+			ivs := []time.Duration{0, time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond}
+			figures.WriteExchangeAblation(os.Stdout, figures.ExchangeAblation(cal, 35000, ivs, *dur, *seed))
+		default:
+			fmt.Fprintf(os.Stderr, "e2efig: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"1", "2", "4a", "4b", "toggle", "hints", "aimd", "tick", "exchange", "multiconn", "timeline", "tail", "gro", "cscan", "bandits", "loss", "rep"} {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+// dumpTrace produces a raw counter log the way the paper's prototype
+// exports ethtool counters, for offline analysis with -analyze.
+func dumpTrace(cal figures.Calib, path string, dur time.Duration, seed int64) error {
+	out := figures.Run(figures.RunSpec{
+		Calib:    cal,
+		Seed:     seed,
+		Rate:     35000,
+		Duration: dur,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = out.Log.WriteTo(f)
+	return err
+}
+
+func analyzeLog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.ReadLog(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("log: %d samples spanning %v\n", len(log.Records), spanOf(log))
+	for u := 0; u < tcpsim.NumUnits; u++ {
+		est := log.Overall(tcpsim.Unit(u))
+		if !est.Valid {
+			fmt.Printf("%-8s: no valid estimate\n", tcpsim.Unit(u))
+			continue
+		}
+		fmt.Printf("%-8s: latency %v  throughput %.0f/s\n",
+			tcpsim.Unit(u), est.Latency.Round(time.Microsecond), est.Throughput)
+	}
+	return nil
+}
+
+func spanOf(l *trace.Log) time.Duration {
+	if len(l.Records) < 2 {
+		return 0
+	}
+	return l.Records[len(l.Records)-1].At.Sub(l.Records[0].At)
+}

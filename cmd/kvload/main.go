@@ -1,0 +1,76 @@
+// Command kvload drives a kvserver (or a real Redis) over real TCP while
+// maintaining the paper's userspace create/complete counters, printing live
+// Little's-law estimates, and — optionally — dynamically toggling
+// TCP_NODELAY with the ε-greedy policy those estimates feed.
+//
+// Usage:
+//
+//	kvload -addr 127.0.0.1:6380 -rate 20000 -dur 10s
+//	kvload -addr 127.0.0.1:6380 -rate 20000 -dur 10s -toggle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/realtcp"
+	"e2ebatch/internal/resp"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:6380", "server address")
+		rate    = flag.Float64("rate", 10000, "offered load, requests/second")
+		dur     = flag.Duration("dur", 5*time.Second, "run duration")
+		valSize = flag.Int("value", 16384, "SET value size in bytes")
+		keySize = flag.Int("key", 16, "key size in bytes")
+		toggle  = flag.Bool("toggle", false, "dynamically toggle TCP_NODELAY from the estimates")
+		tick    = flag.Duration("tick", 10*time.Millisecond, "estimate/toggle tick")
+		slo     = flag.Duration("slo", 500*time.Microsecond, "latency SLO for the toggling objective")
+	)
+	flag.Parse()
+
+	c, err := realtcp.Dial(*addr, 4096)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	key := make([]byte, *keySize)
+	for i := range key {
+		key[i] = 'k'
+	}
+	val := make([]byte, *valSize)
+	for i := range val {
+		val[i] = 'v'
+	}
+	opts := realtcp.LoadOptions{
+		Rate:     *rate,
+		Duration: *dur,
+		Request:  resp.AppendCommand(nil, []byte("SET"), key, val),
+		Tick:     *tick,
+	}
+	if *toggle {
+		opts.Toggler = policy.NewToggler(policy.ThroughputUnderSLO{SLO: *slo},
+			policy.DefaultTogglerConfig(), policy.BatchOff,
+			rand.New(rand.NewSource(time.Now().UnixNano())))
+	}
+
+	rep, err := realtcp.RunLoad(c, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sent %d requests; measured mean=%v p50=%v p99=%v max=%v (%d estimate ticks)\n",
+		rep.Sent, rep.Mean.Round(time.Microsecond), rep.P50.Round(time.Microsecond),
+		rep.P99.Round(time.Microsecond), rep.Max.Round(time.Microsecond), rep.Estimates)
+	if *toggle {
+		fmt.Printf("toggler: %d decisions, %d switches, %d explorations, final %v\n",
+			rep.Toggler.Decisions, rep.Toggler.Switches, rep.Toggler.Explorations, rep.FinalMode)
+	}
+}

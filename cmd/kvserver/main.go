@@ -1,0 +1,52 @@
+// Command kvserver runs the mini-Redis substrate over real TCP sockets.
+// It speaks enough RESP2 for standard Redis clients (SET/GET/DEL/INCR/...).
+//
+// Usage:
+//
+//	kvserver -addr :6380            # TCP_NODELAY like real Redis
+//	kvserver -addr :6380 -nagle     # leave Nagle batching enabled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"e2ebatch/internal/kv"
+	"e2ebatch/internal/realtcp"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:6380", "listen address")
+		nagle = flag.Bool("nagle", false, "keep Nagle's algorithm enabled on accepted connections")
+	)
+	flag.Parse()
+
+	store := kv.NewStore(func() time.Duration { return time.Duration(time.Now().UnixNano()) })
+	srv := realtcp.NewServer(kv.NewEngine(store))
+	srv.Nagle = *nagle
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvserver listening on %s (nagle=%v)\n", l.Addr(), *nagle)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("kvserver: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}

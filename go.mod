@@ -1,0 +1,3 @@
+module e2ebatch
+
+go 1.22

@@ -1,0 +1,157 @@
+// Package analytic implements the closed-form batching model of the paper's
+// Figure 1: n client requests are queued at the server at time 0; serving
+// one request costs α (per-request) + β (per-batch, amortizable); each
+// response costs the client c to process. Batching processes all n together
+// (total n·α + β, responses emitted at batch completion); not batching
+// processes them individually (each α + β, responses emitted as completed).
+//
+// Depending on c, batching improves both average latency and throughput,
+// degrades both, or trades one for the other — the paper's demonstration
+// that the same server-side decision has opposite end-to-end effects the
+// server cannot observe.
+package analytic
+
+import "fmt"
+
+// Params are the Figure-1 model parameters, in abstract time units
+// (the paper uses α=2, β=4, n=3, c ∈ {1, 3, 5}).
+type Params struct {
+	N     int     // requests queued at time 0
+	Alpha float64 // per-request server cost α
+	Beta  float64 // per-batch server cost β
+	C     float64 // per-response client cost c
+}
+
+// PaperParams returns Figure 1's α=2, β=4, n=3 with the given c.
+func PaperParams(c float64) Params {
+	return Params{N: 3, Alpha: 2, Beta: 4, C: c}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("analytic: N must be positive, got %d", p.N)
+	}
+	if p.Alpha < 0 || p.Beta < 0 || p.C < 0 {
+		return fmt.Errorf("analytic: costs must be non-negative: %+v", p)
+	}
+	return nil
+}
+
+// Outcome is the end-to-end result of one policy.
+type Outcome struct {
+	// Latencies[i] is when the client finishes processing response i
+	// (all requests were issued at time 0, so this is request i's
+	// end-to-end latency).
+	Latencies []float64
+	// AvgLatency is the mean of Latencies.
+	AvgLatency float64
+	// Makespan is when the last response finishes at the client.
+	Makespan float64
+	// Throughput is N / Makespan.
+	Throughput float64
+}
+
+func outcome(lat []float64) Outcome {
+	var sum, max float64
+	for _, l := range lat {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	o := Outcome{Latencies: lat, Makespan: max}
+	if n := len(lat); n > 0 {
+		o.AvgLatency = sum / float64(n)
+		if max > 0 {
+			o.Throughput = float64(n) / max
+		}
+	}
+	return o
+}
+
+// NoBatch serves each request individually: request i (0-based) leaves the
+// server at (i+1)·(α+β); the client processes responses FIFO, one at a
+// time, each costing c.
+func NoBatch(p Params) Outcome {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	lat := make([]float64, p.N)
+	clientFree := 0.0
+	for i := 0; i < p.N; i++ {
+		served := float64(i+1) * (p.Alpha + p.Beta)
+		start := served
+		if clientFree > start {
+			start = clientFree
+		}
+		clientFree = start + p.C
+		lat[i] = clientFree
+	}
+	return outcome(lat)
+}
+
+// Batch serves all n requests as one batch costing n·α + β, emitting every
+// response at batch completion; the client then processes them serially.
+func Batch(p Params) Outcome {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	served := float64(p.N)*p.Alpha + p.Beta
+	lat := make([]float64, p.N)
+	clientFree := served
+	for i := 0; i < p.N; i++ {
+		clientFree += p.C
+		lat[i] = clientFree
+	}
+	return outcome(lat)
+}
+
+// BatchK generalizes Batch to batches of size k (the batch-limit knob an
+// AIMD controller would adjust, §5): requests are served in ⌈n/k⌉ batches,
+// each batch's responses emitted at its completion.
+func BatchK(p Params, k int) Outcome {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if k < 1 {
+		panic("analytic: batch size must be >= 1")
+	}
+	lat := make([]float64, 0, p.N)
+	serverFree := 0.0
+	clientFree := 0.0
+	for done := 0; done < p.N; {
+		b := k
+		if p.N-done < b {
+			b = p.N - done
+		}
+		serverFree += float64(b)*p.Alpha + p.Beta
+		if clientFree < serverFree {
+			clientFree = serverFree
+		}
+		for i := 0; i < b; i++ {
+			clientFree += p.C
+			lat = append(lat, clientFree)
+		}
+		done += b
+	}
+	return outcome(lat)
+}
+
+// Comparison captures which metrics batching improves.
+type Comparison struct {
+	Batch, NoBatch                      Outcome
+	LatencyImproved, ThroughputImproved bool
+}
+
+// Compare runs both policies and reports the outcome — the three panels of
+// Figure 1 are Compare at c = 1, 3, 5.
+func Compare(p Params) Comparison {
+	b, nb := Batch(p), NoBatch(p)
+	return Comparison{
+		Batch:              b,
+		NoBatch:            nb,
+		LatencyImproved:    b.AvgLatency < nb.AvgLatency,
+		ThroughputImproved: b.Throughput > nb.Throughput,
+	}
+}

@@ -1,0 +1,62 @@
+package analytic
+
+import (
+	"fmt"
+	"time"
+)
+
+// Queueing-theory helpers used to sanity-check the discrete-event
+// simulator: the Figure 4a server is, to first order, an M/D/1 queue
+// (Poisson arrivals from the open-loop generator, near-deterministic
+// service), so its waiting time should follow Pollaczek–Khinchine. The
+// validation tests compare the simulator's measured latency against these
+// closed forms at loads where the single-queue abstraction holds.
+
+// MM1Wait returns the expected time in system (wait + service) of an M/M/1
+// queue with the given arrival rate (per second) and mean service time.
+// It panics if the queue is unstable (ρ >= 1).
+func MM1Wait(arrivalPerSec float64, service time.Duration) time.Duration {
+	rho := arrivalPerSec * service.Seconds()
+	if rho >= 1 {
+		panic(fmt.Sprintf("analytic: unstable M/M/1 (rho=%.3f)", rho))
+	}
+	return time.Duration(float64(service) / (1 - rho))
+}
+
+// MD1Wait returns the expected time in system of an M/D/1 queue
+// (deterministic service) via Pollaczek–Khinchine:
+// W = S + ρS / (2(1−ρ)).
+func MD1Wait(arrivalPerSec float64, service time.Duration) time.Duration {
+	rho := arrivalPerSec * service.Seconds()
+	if rho >= 1 {
+		panic(fmt.Sprintf("analytic: unstable M/D/1 (rho=%.3f)", rho))
+	}
+	wq := float64(service) * rho / (2 * (1 - rho))
+	return service + time.Duration(wq)
+}
+
+// MG1Wait returns the expected time in system of an M/G/1 queue with the
+// given service-time coefficient of variation squared (cv2 = Var/Mean²):
+// W = S + ρS(1+cv²) / (2(1−ρ)). cv²=0 reduces to M/D/1, cv²=1 to M/M/1.
+func MG1Wait(arrivalPerSec float64, service time.Duration, cv2 float64) time.Duration {
+	if cv2 < 0 {
+		panic("analytic: negative squared coefficient of variation")
+	}
+	rho := arrivalPerSec * service.Seconds()
+	if rho >= 1 {
+		panic(fmt.Sprintf("analytic: unstable M/G/1 (rho=%.3f)", rho))
+	}
+	wq := float64(service) * rho * (1 + cv2) / (2 * (1 - rho))
+	return service + time.Duration(wq)
+}
+
+// Utilization returns ρ = λ·S.
+func Utilization(arrivalPerSec float64, service time.Duration) float64 {
+	return arrivalPerSec * service.Seconds()
+}
+
+// SaturationRate returns the arrival rate at which a queue with the given
+// service time saturates (ρ = 1).
+func SaturationRate(service time.Duration) float64 {
+	return 1 / service.Seconds()
+}

@@ -1,0 +1,43 @@
+package cpumodel
+
+import "time"
+
+// Costs describes a processing-cost profile in the paper's α/β vocabulary
+// (§2): PerItem is the per-request cost α, PerBatch the amortizable
+// per-batch cost β, and PerByteNS the data-dependent component (copies,
+// checksums) in nanoseconds per byte — a float because realistic copy costs
+// are fractions of a nanosecond per byte. A batch of n items of total size
+// bytes costs PerBatch + n·PerItem + bytes·PerByteNS.
+type Costs struct {
+	PerItem   time.Duration
+	PerBatch  time.Duration
+	PerByteNS float64
+}
+
+// Batch returns the cost of processing n items totalling bytes in one batch.
+func (c Costs) Batch(n int, bytes int) time.Duration {
+	if n <= 0 && bytes <= 0 {
+		return 0
+	}
+	if n < 0 {
+		n = 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return c.PerBatch + time.Duration(n)*c.PerItem + time.Duration(float64(bytes)*c.PerByteNS)
+}
+
+// Item returns the cost of processing a single item of the given size
+// without batching (α + β + size·PerByteNS).
+func (c Costs) Item(bytes int) time.Duration { return c.Batch(1, bytes) }
+
+// Scale returns the profile with every component multiplied by f — used to
+// derive the "inside a VM" client of Figure 2 from the bare-metal profile.
+func (c Costs) Scale(f float64) Costs {
+	return Costs{
+		PerItem:   time.Duration(float64(c.PerItem) * f),
+		PerBatch:  time.Duration(float64(c.PerBatch) * f),
+		PerByteNS: c.PerByteNS * f,
+	}
+}

@@ -1,0 +1,222 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestExchangeFrequencyInvariance asserts §5's claim that reducing the
+// metadata-exchange frequency does not hurt estimate accuracy: the online
+// estimate stays put while the exchange count drops by orders of magnitude.
+func TestExchangeFrequencyInvariance(t *testing.T) {
+	cal := DefaultCalib()
+	ivs := []time.Duration{0, time.Millisecond, 50 * time.Millisecond}
+	out := ExchangeAblation(cal, 35000, ivs, 300*time.Millisecond, 7)
+	if len(out.Rows) != 3 {
+		t.Fatalf("rows = %d", len(out.Rows))
+	}
+	base := out.Rows[0]
+	if base.Count == 0 || base.OnlineAvg == 0 {
+		t.Fatalf("baseline produced no online estimates: %+v", base)
+	}
+	for _, r := range out.Rows[1:] {
+		if r.Exchanges >= base.Exchanges/10 {
+			t.Errorf("interval %v: %d exchanges vs baseline %d — rate limit ineffective", r.Interval, r.Exchanges, base.Exchanges)
+		}
+		if e := relErr(r.OnlineAvg, base.OnlineAvg); e > 0.10 {
+			t.Errorf("interval %v: online estimate %v vs baseline %v (%.0f%% drift)", r.Interval, r.OnlineAvg, base.OnlineAvg, 100*e)
+		}
+	}
+	var buf bytes.Buffer
+	WriteExchangeAblation(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestTickGranularityTradeoff asserts §5's reaction-speed observation:
+// finer decision ticks track the winning mode at a load where the losing
+// mode collapses, while very coarse ticks react too slowly within the run.
+func TestTickGranularityTradeoff(t *testing.T) {
+	cal := DefaultCalib()
+	ivs := []time.Duration{200 * time.Microsecond, 20 * time.Millisecond}
+	out := TickAblation(cal, 50000, ivs, 500*time.Millisecond, 7)
+	fine, coarse := out.Rows[0], out.Rows[1]
+	if fine.Dynamic > 2*out.StaticOn {
+		t.Errorf("fine tick: dynamic %v vs static-on %v", fine.Dynamic, out.StaticOn)
+	}
+	if fine.OnShare < 0.6 {
+		t.Errorf("fine tick: on-share %.0f%%, want majority", 100*fine.OnShare)
+	}
+	if coarse.OnShare >= fine.OnShare {
+		t.Errorf("coarse tick reacted as fast as fine: %.0f%% vs %.0f%%", 100*coarse.OnShare, 100*fine.OnShare)
+	}
+	if coarse.Dynamic <= fine.Dynamic {
+		t.Errorf("coarse tick latency %v should exceed fine %v at this load", coarse.Dynamic, fine.Dynamic)
+	}
+	var buf bytes.Buffer
+	WriteTickAblation(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestTimelineConvergence asserts the convergence dynamics: the dynamic run
+// starts in the collapsing mode, and by the final quarter of the run its
+// windows sit within 2x of static batch-on.
+func TestTimelineConvergence(t *testing.T) {
+	cal := DefaultCalib()
+	out := Timeline(cal, 50000, 400*time.Millisecond, 7)
+	if len(out.Dynamic) < 10 {
+		t.Fatalf("windows = %d", len(out.Dynamic))
+	}
+	// Early: the dynamic trace must show the collapse (it started off).
+	early := out.Dynamic[1].Mean()
+	if early < 4*out.StaticOn {
+		t.Fatalf("early window %v does not show the initial collapse (static-on %v)", early, out.StaticOn)
+	}
+	// Late: converged. Take the median of the last quarter to tolerate
+	// exploration bumps.
+	tail := out.Dynamic[3*len(out.Dynamic)/4:]
+	within := 0
+	for _, w := range tail {
+		if w.Count > 0 && w.Mean() <= 2*out.StaticOn {
+			within++
+		}
+	}
+	if within*3 < len(tail)*2 {
+		t.Fatalf("only %d/%d tail windows within 2x of static-on", within, len(tail))
+	}
+}
+
+// TestGROAblation asserts the receive-side-batching finding: in our
+// calibration (per-delivery cost dominating the server softirq), adaptive
+// GRO alone rescues the no-sender-batching mode from its collapse, without
+// Nagle's low-load hold penalty. See EXPERIMENTS.md for the calibration
+// caveat this implies.
+func TestGROAblation(t *testing.T) {
+	cal := DefaultCalib()
+	out := GROAblation(cal, []float64{40000, 55000}, 300*time.Millisecond, 7)
+	for _, r := range out.Rows {
+		if r.OffGRO*5 > r.OffNoGRO {
+			t.Errorf("rate %v: GRO should rescue batching-off (%v vs %v)", r.Rate, r.OffGRO, r.OffNoGRO)
+		}
+		if r.OffGRO > cal.SLO {
+			t.Errorf("rate %v: off+GRO %v violates SLO", r.Rate, r.OffGRO)
+		}
+		// GRO composes harmlessly with sender batching.
+		if r.OnGRO > r.OnNoGRO*3/2 {
+			t.Errorf("rate %v: GRO hurt the batch-on mode (%v vs %v)", r.Rate, r.OnGRO, r.OnNoGRO)
+		}
+	}
+	var buf bytes.Buffer
+	WriteGROAblation(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestCScanFlip asserts the c-axis behaviour in the full system: batching
+// helps the fast client, hurts once the client is slow enough, and the
+// flip is monotone-ish along the sweep.
+func TestCScanFlip(t *testing.T) {
+	cal := DefaultCalib()
+	// Sweep only up to 2x: beyond that the slow client itself saturates
+	// under batching-off and batching flips back to helpful (it cuts the
+	// client's per-wakeup work) — richer than Figure 1, verified by the
+	// CLI's wider sweep.
+	out := CScan(cal, []float64{1, 1.5, 2}, 300*time.Millisecond, 11)
+	if !out.Rows[0].NagleHelps {
+		t.Errorf("scale 1: batching should help (off=%v on=%v)", out.Rows[0].LatOff, out.Rows[0].LatOn)
+	}
+	last := out.Rows[len(out.Rows)-1]
+	if last.NagleHelps {
+		t.Errorf("scale %.1f: batching should hurt (off=%v on=%v)", last.Scale, last.LatOff, last.LatOn)
+	}
+	if out.FlipScale <= 1 || out.FlipScale > 2 {
+		t.Errorf("flip scale = %v, want within (1, 2]", out.FlipScale)
+	}
+	var buf bytes.Buffer
+	WriteCScan(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestPolicyComparison: both bandit controllers must handle the mid-load
+// point where batching clearly wins; the comparison also documents a real
+// finding — textbook UCB1 assumes stationary bounded rewards, and the
+// catastrophic scores observed during overload excursions make it re-probe
+// the losing mode far more than decaying ε-greedy does.
+func TestPolicyComparison(t *testing.T) {
+	cal := DefaultCalib()
+	out := PolicyCompare(cal, []float64{45000}, 500*time.Millisecond, 7)
+	r := out.Rows[0]
+	if r.EpsGreedy > cal.SLO {
+		t.Errorf("ε-greedy %v violates SLO at 45k", r.EpsGreedy)
+	}
+	if r.UCB > cal.SLO {
+		t.Errorf("UCB1 %v violates SLO at 45k", r.UCB)
+	}
+	if r.EpsOnShare < 0.6 || r.UCBOnShare < 0.6 {
+		t.Errorf("residency: eps %.0f%% ucb %.0f%%", 100*r.EpsOnShare, 100*r.UCBOnShare)
+	}
+	var buf bytes.Buffer
+	WritePolicyCompare(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestLossRobustness: under packet loss with recovery, measured and
+// estimated latency inflate together — the estimator degrades gracefully
+// rather than diverging.
+func TestLossRobustness(t *testing.T) {
+	cal := DefaultCalib()
+	out := LossRobustness(cal, 20000, []float64{0, 0.01}, 300*time.Millisecond, 7)
+	clean, lossy := out.Rows[0], out.Rows[1]
+	if lossy.Retransmits == 0 {
+		t.Fatal("no retransmissions at 1% loss")
+	}
+	if lossy.Measured < 5*clean.Measured {
+		t.Fatalf("1%% loss measured %v vs clean %v: recovery delay missing", lossy.Measured, clean.Measured)
+	}
+	if lossy.EstBytes < 5*clean.EstBytes {
+		t.Fatalf("1%% loss estimate %v vs clean %v: estimator blind to recovery", lossy.EstBytes, clean.EstBytes)
+	}
+	// Same order of magnitude: the estimate must track the blowup.
+	if e := relErr(lossy.EstBytes, lossy.Measured); e > 0.6 {
+		t.Fatalf("lossy estimate %v vs measured %v (%.0f%%)", lossy.EstBytes, lossy.Measured, 100*e)
+	}
+	var buf bytes.Buffer
+	WriteLoss(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestReplicatedFig4a: across independent seeds, the low-load and high-load
+// outcomes must be statistically separable in the expected directions.
+func TestReplicatedFig4a(t *testing.T) {
+	cal := DefaultCalib()
+	out := ReplicatedFig4a(cal, []float64{5000, 60000}, 200*time.Millisecond, []int64{3, 19, 101})
+	low, high := out.Points[0], out.Points[1]
+	if low.On.Mean <= low.Off.Mean {
+		t.Errorf("5k: batching should hurt on average (off=%v on=%v)", low.Off.Mean, low.On.Mean)
+	}
+	if !out.Separable(0) {
+		t.Errorf("5k: modes not separable (off %v±%v on %v±%v)", low.Off.Mean, low.Off.Stderr, low.On.Mean, low.On.Stderr)
+	}
+	if high.On.Mean*3 >= high.Off.Mean {
+		t.Errorf("60k: batching should win >3x on average")
+	}
+	if !out.Separable(1) {
+		t.Errorf("60k: modes not separable")
+	}
+	var buf bytes.Buffer
+	WriteReplicated(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}

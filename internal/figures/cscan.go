@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// CScanRow is one client-cost multiplier of the c-sweep.
+type CScanRow struct {
+	Scale      float64
+	LatOff     time.Duration
+	LatOn      time.Duration
+	NagleHelps bool
+}
+
+// CScanOut sweeps the client cost multiplier at the fixed Figure-2 load —
+// Figure 1's c-axis reproduced in the full system: as the client gets
+// slower, the same server-side batching decision flips from helpful to
+// harmful somewhere along the sweep.
+type CScanOut struct {
+	Rate float64
+	Rows []CScanRow
+	// FlipScale is the first swept multiplier at which batching stops
+	// helping (0 if it always helps).
+	FlipScale float64
+}
+
+// CScan runs the sweep.
+func CScan(cal Calib, scales []float64, dur time.Duration, seed int64) *CScanOut {
+	out := &CScanOut{Rate: cal.Fig2Rate}
+	for _, scale := range scales {
+		row := CScanRow{Scale: scale}
+		for _, on := range []bool{false, true} {
+			r := Run(RunSpec{
+				Calib:       cal,
+				Seed:        seed,
+				Rate:        cal.Fig2Rate,
+				Duration:    dur,
+				BatchOn:     on,
+				ClientScale: scale,
+			})
+			if on {
+				row.LatOn = r.Res.Latency.Mean()
+			} else {
+				row.LatOff = r.Res.Latency.Mean()
+			}
+		}
+		row.NagleHelps = row.LatOn < row.LatOff
+		if !row.NagleHelps && out.FlipScale == 0 {
+			out.FlipScale = scale
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// WriteCScan renders the sweep.
+func WriteCScan(w io.Writer, c *CScanOut) {
+	fmt.Fprintf(w, "Client-cost sweep — Figure 1's c-axis in the full system (%.0f kRPS)\n", c.Rate/1000)
+	fmt.Fprintf(w, "%8s | %12s %12s | %s\n", "c scale", "lat (off)", "lat (on)", "batching")
+	for _, r := range c.Rows {
+		verdict := "hurts"
+		if r.NagleHelps {
+			verdict = "helps"
+		}
+		fmt.Fprintf(w, "%8.2f | %12v %12v | %s\n",
+			r.Scale, r.LatOff.Round(time.Microsecond), r.LatOn.Round(time.Microsecond), verdict)
+	}
+	if c.FlipScale > 0 {
+		fmt.Fprintf(w, "outcome flips at client-cost scale %.2f\n", c.FlipScale)
+	}
+}

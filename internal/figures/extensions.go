@@ -1,0 +1,257 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"e2ebatch/internal/loadgen"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/tcpsim"
+)
+
+// TogglePoint compares estimate-driven dynamic toggling against both static
+// modes at one offered load.
+type TogglePoint struct {
+	Rate             float64
+	Off, On, Dynamic time.Duration
+	FinalMode        policy.Mode
+	// OnShare is the fraction of decision ticks spent in batch-on.
+	OnShare      float64
+	Switches     uint64
+	Explorations uint64
+}
+
+// ToggleOut is the dynamic-toggling experiment: the paper's "had they been
+// used to dynamically toggle Nagle batching" (§4) made real.
+type ToggleOut struct {
+	SLO    time.Duration
+	Points []TogglePoint
+}
+
+// Toggle sweeps offered load with the ε-greedy toggler active and both
+// static baselines for reference.
+func Toggle(cal Calib, rates []float64, dur time.Duration, seed int64) *ToggleOut {
+	out := &ToggleOut{SLO: cal.SLO}
+	for _, rate := range rates {
+		p := TogglePoint{Rate: rate}
+		for _, on := range []bool{false, true} {
+			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on})
+			if on {
+				p.On = r.Res.Latency.Mean()
+			} else {
+				p.Off = r.Res.Latency.Mean()
+			}
+		}
+		r := Run(RunSpec{
+			Calib:    cal,
+			Seed:     seed,
+			Rate:     rate,
+			Duration: dur,
+			Dynamic:  DefaultDynamicSpec(cal.SLO),
+		})
+		p.Dynamic = r.Res.Latency.Mean()
+		p.FinalMode = r.FinalMode
+		p.OnShare = r.OnShare
+		p.Switches = r.TogglerStats.Switches
+		p.Explorations = r.TogglerStats.Explorations
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// WriteToggle renders the dynamic-toggling table.
+func WriteToggle(w io.Writer, t *ToggleOut) {
+	fmt.Fprintf(w, "Dynamic toggling — estimate-driven ε-greedy vs static modes (SLO %v)\n", t.SLO)
+	fmt.Fprintf(w, "%8s | %10s %10s %10s | %7s %8s\n", "kRPS", "off", "on", "dynamic", "on-share", "switches")
+	for _, p := range t.Points {
+		fmt.Fprintf(w, "%8.1f | %10v %10v %10v | %6.0f%% %8d\n",
+			p.Rate/1000, p.Off.Round(time.Microsecond), p.On.Round(time.Microsecond),
+			p.Dynamic.Round(time.Microsecond), 100*p.OnShare, p.Switches)
+	}
+}
+
+// HintsRow compares the unit modes' estimation error on one run.
+type HintsRow struct {
+	Rate     float64
+	BatchOn  bool
+	Measured time.Duration
+	ByUnit   [tcpsim.NumUnits]time.Duration
+	Hints    time.Duration
+}
+
+// relErr returns |est-meas|/meas.
+func relErr(est, meas time.Duration) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := est - meas
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(meas)
+}
+
+// HintsOut is the semantic-gap experiment (§3.3): on the heterogeneous
+// Figure 4b workload — with the client batching k requests per send(2) to
+// widen the gap — byte- and send-unit estimates drift from the measured
+// request latency while the create/complete hints remain exact.
+type HintsOut struct {
+	SyscallBatch int
+	Rows         []HintsRow
+}
+
+// Hints runs the mixed workload with hints attached at the given rates.
+func Hints(cal Calib, rates []float64, dur time.Duration, seed int64, syscallBatch int) *HintsOut {
+	out := &HintsOut{SyscallBatch: syscallBatch}
+	for _, rate := range rates {
+		for _, on := range []bool{false, true} {
+			spec := RunSpec{
+				Calib:       cal,
+				Seed:        seed,
+				Rate:        rate,
+				Duration:    dur,
+				BatchOn:     on,
+				Workload:    loadgen.MixedWorkload(cal.KeySize, cal.ValSize, 950),
+				PreloadKeys: true,
+				WithHints:   true,
+			}
+			spec.SyscallBatch = syscallBatch
+			r := Run(spec)
+			row := HintsRow{Rate: rate, BatchOn: on, Measured: r.Res.Latency.Mean()}
+			for u := 0; u < tcpsim.NumUnits; u++ {
+				if r.Est[u].Valid {
+					row.ByUnit[u] = r.Est[u].Latency
+				}
+			}
+			if r.HintAvgs.Valid {
+				row.Hints = r.HintAvgs.Latency
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// WriteHints renders the unit-comparison table.
+func WriteHints(w io.Writer, h *HintsOut) {
+	fmt.Fprintf(w, "Semantic gap — estimate vs measured on 95:5 SET:GET (client batches %d requests per send)\n", h.SyscallBatch)
+	fmt.Fprintf(w, "%8s %-5s | %10s | %10s %6s | %10s %6s | %10s %6s | %10s %6s\n",
+		"kRPS", "mode", "measured", "bytes", "err", "packets", "err", "sends", "err", "hints", "err")
+	for _, r := range h.Rows {
+		mode := "off"
+		if r.BatchOn {
+			mode = "on"
+		}
+		fmt.Fprintf(w, "%8.1f %-5s | %10v | %10v %5.0f%% | %10v %5.0f%% | %10v %5.0f%% | %10v %5.0f%%\n",
+			r.Rate/1000, mode, r.Measured.Round(time.Microsecond),
+			r.ByUnit[0].Round(time.Microsecond), 100*relErr(r.ByUnit[0], r.Measured),
+			r.ByUnit[1].Round(time.Microsecond), 100*relErr(r.ByUnit[1], r.Measured),
+			r.ByUnit[2].Round(time.Microsecond), 100*relErr(r.ByUnit[2], r.Measured),
+			r.Hints.Round(time.Microsecond), 100*relErr(r.Hints, r.Measured))
+	}
+}
+
+// AIMDRow compares AIMD cork control against the static modes at one rate.
+type AIMDRow struct {
+	Rate              float64
+	Off, On, AIMDMean time.Duration
+	FinalCork         int
+}
+
+// AIMDOut is the §5 "Better Batching Heuristics" experiment: AIMD gradually
+// adapts the cork threshold instead of toggling on/off.
+type AIMDOut struct {
+	SLO  time.Duration
+	Rows []AIMDRow
+}
+
+// AIMD runs the AIMD-controlled variant at the given rates.
+func AIMD(cal Calib, rates []float64, dur time.Duration, seed int64) *AIMDOut {
+	out := &AIMDOut{SLO: cal.SLO}
+	for _, rate := range rates {
+		row := AIMDRow{Rate: rate}
+		for _, on := range []bool{false, true} {
+			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on})
+			if on {
+				row.On = r.Res.Latency.Mean()
+			} else {
+				row.Off = r.Res.Latency.Mean()
+			}
+		}
+		r := Run(RunSpec{
+			Calib:    cal,
+			Seed:     seed,
+			Rate:     rate,
+			Duration: dur,
+			AIMD:     DefaultAIMDSpec(cal.SLO),
+		})
+		row.AIMDMean = r.Res.Latency.Mean()
+		row.FinalCork = r.FinalCork
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// WriteAIMD renders the AIMD table.
+func WriteAIMD(w io.Writer, a *AIMDOut) {
+	fmt.Fprintf(w, "AIMD batch-limit control vs static modes (SLO %v)\n", a.SLO)
+	fmt.Fprintf(w, "%8s | %10s %10s %10s | %10s\n", "kRPS", "off", "on", "aimd", "final cork")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%8.1f | %10v %10v %10v | %10d\n",
+			r.Rate/1000, r.Off.Round(time.Microsecond), r.On.Round(time.Microsecond),
+			r.AIMDMean.Round(time.Microsecond), r.FinalCork)
+	}
+}
+
+// PolicyCompareRow contrasts the two bandit controllers at one load.
+type PolicyCompareRow struct {
+	Rate                   float64
+	EpsGreedy, UCB         time.Duration
+	EpsSwitches, UCBSwitch uint64
+	EpsOnShare, UCBOnShare float64
+}
+
+// PolicyCompareOut pits ε-greedy (the paper's "light method" suggestion)
+// against UCB1 (the multi-armed-bandit literature it cites) in the full
+// system.
+type PolicyCompareOut struct {
+	SLO  time.Duration
+	Rows []PolicyCompareRow
+}
+
+// PolicyCompare runs both controllers at each rate.
+func PolicyCompare(cal Calib, rates []float64, dur time.Duration, seed int64) *PolicyCompareOut {
+	out := &PolicyCompareOut{SLO: cal.SLO}
+	for _, rate := range rates {
+		row := PolicyCompareRow{Rate: rate}
+		for _, ucb := range []bool{false, true} {
+			d := DefaultDynamicSpec(cal.SLO)
+			d.UseUCB = ucb
+			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: d})
+			if ucb {
+				row.UCB = r.Res.Latency.Mean()
+				row.UCBSwitch = r.TogglerStats.Switches
+				row.UCBOnShare = r.OnShare
+			} else {
+				row.EpsGreedy = r.Res.Latency.Mean()
+				row.EpsSwitches = r.TogglerStats.Switches
+				row.EpsOnShare = r.OnShare
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// WritePolicyCompare renders the comparison.
+func WritePolicyCompare(w io.Writer, p *PolicyCompareOut) {
+	fmt.Fprintf(w, "Bandit comparison — ε-greedy vs UCB1 dynamic toggling (SLO %v)\n", p.SLO)
+	fmt.Fprintf(w, "%8s | %10s %8s %9s | %10s %8s %9s\n",
+		"kRPS", "ε-greedy", "switches", "on-share", "ucb1", "switches", "on-share")
+	for _, r := range p.Rows {
+		fmt.Fprintf(w, "%8.1f | %10v %8d %8.0f%% | %10v %8d %8.0f%%\n",
+			r.Rate/1000, r.EpsGreedy.Round(time.Microsecond), r.EpsSwitches, 100*r.EpsOnShare,
+			r.UCB.Round(time.Microsecond), r.UCBSwitch, 100*r.UCBOnShare)
+	}
+}

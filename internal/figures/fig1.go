@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"e2ebatch/internal/analytic"
+)
+
+// Fig1Row is one panel of the paper's Figure 1: the batching outcome for a
+// particular client processing cost c.
+type Fig1Row struct {
+	C       float64
+	Batch   analytic.Outcome
+	NoBatch analytic.Outcome
+	// Verdict summarizes the panel: "both-better", "both-worse", or
+	// "mixed" (throughput better, latency worse).
+	Verdict string
+}
+
+// Fig1 reproduces Figure 1 with the paper's α=2, β=4, n=3 for the given c
+// values (the paper shows c = 1, 3, 5).
+func Fig1(cs ...float64) []Fig1Row {
+	if len(cs) == 0 {
+		cs = []float64{1, 3, 5}
+	}
+	rows := make([]Fig1Row, len(cs))
+	for i, c := range cs {
+		cmp := analytic.Compare(analytic.PaperParams(c))
+		verdict := "mixed"
+		switch {
+		case cmp.LatencyImproved && cmp.ThroughputImproved:
+			verdict = "both-better"
+		case !cmp.LatencyImproved && !cmp.ThroughputImproved:
+			verdict = "both-worse"
+		}
+		rows[i] = Fig1Row{C: c, Batch: cmp.Batch, NoBatch: cmp.NoBatch, Verdict: verdict}
+	}
+	return rows
+}
+
+// WriteFig1 renders the Figure 1 table.
+func WriteFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintln(w, "Figure 1 — batching outcome vs client cost c (α=2, β=4, n=3)")
+	fmt.Fprintf(w, "%4s | %13s %13s | %13s %13s | %s\n",
+		"c", "batch avgLat", "batch tput", "plain avgLat", "plain tput", "batching is")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4.0f | %13.2f %13.3f | %13.2f %13.3f | %s\n",
+			r.C, r.Batch.AvgLatency, r.Batch.Throughput,
+			r.NoBatch.AvgLatency, r.NoBatch.Throughput, r.Verdict)
+	}
+}

@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Fig2Config is one client configuration (bare metal or VM) at the fixed
+// Figure-2 load.
+type Fig2Config struct {
+	Name       string
+	Scale      float64 // client cost multiplier (1 = bare metal)
+	ClientCPU  float64 // client app+softirq utilization (batching off)
+	ServerCPU  float64 // server app+softirq utilization (batching off)
+	LatOff     time.Duration
+	LatOn      time.Duration
+	NagleHelps bool
+}
+
+// Fig2Out reproduces the paper's Figure 2: a fixed offered load served for
+// a bare-metal and a VM-hosted client; the VM's higher client-side costs
+// flip the Nagle on/off outcome while the server's CPU usage stays put.
+type Fig2Out struct {
+	Rate     float64
+	Duration time.Duration
+	Bare, VM Fig2Config
+}
+
+// Fig2 runs the four cells (bare/VM × on/off).
+func Fig2(cal Calib, dur time.Duration, seed int64) *Fig2Out {
+	out := &Fig2Out{Rate: cal.Fig2Rate, Duration: dur}
+	for _, cfgp := range []*Fig2Config{
+		{Name: "bare-metal", Scale: 1},
+		{Name: "vm", Scale: cal.VMScale},
+	} {
+		for _, on := range []bool{false, true} {
+			r := Run(RunSpec{
+				Calib:       cal,
+				Seed:        seed,
+				Rate:        cal.Fig2Rate,
+				Duration:    dur,
+				BatchOn:     on,
+				ClientScale: cfgp.Scale,
+			})
+			if on {
+				cfgp.LatOn = r.Res.Latency.Mean()
+			} else {
+				cfgp.LatOff = r.Res.Latency.Mean()
+				cfgp.ClientCPU = r.ClientAppUtil + r.ClientSoftUtil
+				cfgp.ServerCPU = r.ServerAppUtil + r.ServerSoftUtil
+			}
+		}
+		cfgp.NagleHelps = cfgp.LatOn < cfgp.LatOff
+		if cfgp.Scale == 1 {
+			out.Bare = *cfgp
+		} else {
+			out.VM = *cfgp
+		}
+	}
+	return out
+}
+
+// WriteFig2 renders the Figure 2 table.
+func WriteFig2(w io.Writer, f *Fig2Out) {
+	fmt.Fprintf(w, "Figure 2 — fixed %.0f kRPS SET load, bare-metal vs VM client\n", f.Rate/1000)
+	fmt.Fprintf(w, "%-11s | %9s %9s | %11s %11s | %s\n",
+		"client", "cliCPU", "srvCPU", "lat (off)", "lat (on)", "nagle")
+	for _, c := range []Fig2Config{f.Bare, f.VM} {
+		verdict := "hurts"
+		if c.NagleHelps {
+			verdict = "helps"
+		}
+		fmt.Fprintf(w, "%-11s | %8.2fc %8.2fc | %11v %11v | %s\n",
+			c.Name, c.ClientCPU, c.ServerCPU,
+			c.LatOff.Round(time.Microsecond), c.LatOn.Round(time.Microsecond), verdict)
+	}
+}

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/core"
+)
+
+// TestMultiConnAggregation asserts §3.2's multi-connection remark: each
+// connection's estimate is individually valid, the throughput-weighted
+// aggregate tracks the pooled measured latency under load, and one
+// aggregate-driven decision applied to all connections rescues the SLO.
+func TestMultiConnAggregation(t *testing.T) {
+	cal := DefaultCalib()
+	out := MultiConn(cal, 4, 50000, 300*time.Millisecond, 7)
+	if len(out.PerConn) != 4 {
+		t.Fatalf("per-conn estimates = %d", len(out.PerConn))
+	}
+	for i, e := range out.PerConn {
+		if !e.Valid {
+			t.Fatalf("conn %d estimate invalid", i)
+		}
+	}
+	if !out.Aggregate.Valid {
+		t.Fatal("aggregate invalid")
+	}
+	// Deep in overload, queueing dominates and the aggregate must track
+	// the measured mean closely.
+	if e := relErr(out.Aggregate.Latency, out.Measured); e > 0.25 {
+		t.Errorf("aggregate %v vs measured %v (%.0f%% error)", out.Aggregate.Latency, out.Measured, 100*e)
+	}
+	// Aggregate-driven toggling across all four connections must rescue
+	// the workload from the multi-ms collapse.
+	if out.DynamicMeasured > cal.SLO {
+		t.Errorf("dynamic mean %v violates SLO %v", out.DynamicMeasured, cal.SLO)
+	}
+	if out.OnShare < 0.6 {
+		t.Errorf("batch-on residency %.0f%%, want majority", 100*out.OnShare)
+	}
+	if out.DynamicMeasured*10 > out.Measured {
+		t.Errorf("dynamic %v should be >=10x below static-off %v", out.DynamicMeasured, out.Measured)
+	}
+
+	// The per-connection estimates should be mutually consistent (same
+	// workload share): max/min within 2x.
+	min, max := out.PerConn[0].Latency, out.PerConn[0].Latency
+	for _, e := range out.PerConn[1:] {
+		if e.Latency < min {
+			min = e.Latency
+		}
+		if e.Latency > max {
+			max = e.Latency
+		}
+	}
+	if max > 2*min {
+		t.Errorf("per-conn estimates diverge: min %v max %v", min, max)
+	}
+
+	var buf bytes.Buffer
+	WriteMultiConn(&buf, out)
+	if buf.Len() == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestAggregateThroughputSumsConnections checks the aggregate's throughput
+// is the sum of per-connection throughputs.
+func TestAggregateThroughputSumsConnections(t *testing.T) {
+	cal := DefaultCalib()
+	out := MultiConn(cal, 2, 20000, 200*time.Millisecond, 3)
+	var sum float64
+	for _, e := range out.PerConn {
+		sum += e.Throughput
+	}
+	agg := core.Aggregate(out.PerConn)
+	if agg.Throughput != sum {
+		t.Fatalf("aggregate throughput %v != sum %v", agg.Throughput, sum)
+	}
+}

@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"e2ebatch/internal/metrics"
+)
+
+// RepCell aggregates one (rate, mode) cell across independent replications.
+type RepCell struct {
+	Mean   time.Duration
+	Stderr time.Duration
+}
+
+func repCell(samples []time.Duration) RepCell {
+	var w metrics.Welford
+	for _, s := range samples {
+		w.Add(float64(s))
+	}
+	c := RepCell{Mean: time.Duration(w.Mean())}
+	if w.Count() > 1 {
+		c.Stderr = time.Duration(w.Stddev() / math.Sqrt(float64(w.Count())))
+	}
+	return c
+}
+
+// RepPoint is one offered load with replicated statistics.
+type RepPoint struct {
+	Rate    float64
+	Off, On RepCell
+}
+
+// RepOut is the replicated Figure 4a: each cell is the mean ± standard
+// error over independent seeds, the experimental rigor a camera-ready
+// version of the workshop paper would need.
+type RepOut struct {
+	Seeds  []int64
+	SLO    time.Duration
+	Points []RepPoint
+}
+
+// ReplicatedFig4a runs the sweep once per seed and aggregates.
+func ReplicatedFig4a(cal Calib, rates []float64, dur time.Duration, seeds []int64) *RepOut {
+	if len(seeds) == 0 {
+		panic("figures: need at least one seed")
+	}
+	out := &RepOut{Seeds: seeds, SLO: cal.SLO}
+	for _, rate := range rates {
+		p := RepPoint{Rate: rate}
+		var off, on []time.Duration
+		for _, seed := range seeds {
+			for _, mode := range []bool{false, true} {
+				r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: mode})
+				if mode {
+					on = append(on, r.Res.Latency.Mean())
+				} else {
+					off = append(off, r.Res.Latency.Mean())
+				}
+			}
+		}
+		p.Off, p.On = repCell(off), repCell(on)
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// Separable reports whether the two modes' means at point i differ by more
+// than twice the combined standard error — a crude significance check.
+func (r *RepOut) Separable(i int) bool {
+	p := r.Points[i]
+	gap := float64(p.Off.Mean - p.On.Mean)
+	if gap < 0 {
+		gap = -gap
+	}
+	return gap > 2*float64(p.Off.Stderr+p.On.Stderr)
+}
+
+// WriteReplicated renders the aggregated sweep.
+func WriteReplicated(w io.Writer, r *RepOut) {
+	fmt.Fprintf(w, "Figure 4a with %d replications (mean ± stderr)\n", len(r.Seeds))
+	fmt.Fprintf(w, "%8s | %11s ±%9s | %11s ±%9s | separable\n", "kRPS", "off", "", "on", "")
+	for i, p := range r.Points {
+		fmt.Fprintf(w, "%8.1f | %11v ±%9v | %11v ±%9v | %v\n",
+			p.Rate/1000,
+			p.Off.Mean.Round(time.Microsecond), p.Off.Stderr.Round(time.Microsecond),
+			p.On.Mean.Round(time.Microsecond), p.On.Stderr.Round(time.Microsecond),
+			r.Separable(i))
+	}
+}

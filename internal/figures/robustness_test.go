@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOnlineEstimatorSurvivesStaleExchanges: when the peer's metadata
+// exchange all but stops (interval far beyond the run), the online
+// estimator must degrade gracefully to its local view instead of going
+// silent or producing garbage.
+func TestOnlineEstimatorSurvivesStaleExchanges(t *testing.T) {
+	out := Run(RunSpec{
+		Calib:               DefaultCalib(),
+		Seed:                5,
+		Rate:                30000,
+		Duration:            200 * time.Millisecond,
+		BatchOn:             false,
+		ExchangeInterval:    time.Hour, // only the very first exchange happens
+		OnlineEstimateEvery: 5 * time.Millisecond,
+	})
+	if out.OnlineCount < 20 {
+		t.Fatalf("online estimates = %d, want steady stream from the local view", out.OnlineCount)
+	}
+	// Local-view-only estimates miss the remote unread term but must
+	// stay in the right regime (tens of µs to a few hundred µs at 30k).
+	if out.OnlineAvg < 20*time.Microsecond || out.OnlineAvg > time.Millisecond {
+		t.Fatalf("stale-exchange online estimate %v implausible", out.OnlineAvg)
+	}
+	// The offline (both-sided) analysis is unaffected by exchange rate.
+	if !out.Est[0].Valid {
+		t.Fatal("offline estimate invalid")
+	}
+}
+
+// TestHeadlineClaimsAcrossSeeds: the Figure 4a ordering claims must hold
+// for seeds other than the one the tables use.
+func TestHeadlineClaimsAcrossSeeds(t *testing.T) {
+	cal := DefaultCalib()
+	for _, seed := range []int64{19, 101} {
+		low := Run(RunSpec{Calib: cal, Seed: seed, Rate: 5000, Duration: 200 * time.Millisecond, BatchOn: false})
+		lowOn := Run(RunSpec{Calib: cal, Seed: seed, Rate: 5000, Duration: 200 * time.Millisecond, BatchOn: true})
+		if lowOn.Res.Latency.Mean() <= low.Res.Latency.Mean() {
+			t.Errorf("seed %d: batching should hurt at 5k (off=%v on=%v)",
+				seed, low.Res.Latency.Mean(), lowOn.Res.Latency.Mean())
+		}
+		high := Run(RunSpec{Calib: cal, Seed: seed, Rate: 60000, Duration: 200 * time.Millisecond, BatchOn: false})
+		highOn := Run(RunSpec{Calib: cal, Seed: seed, Rate: 60000, Duration: 200 * time.Millisecond, BatchOn: true})
+		if highOn.Res.Latency.Mean()*3 >= high.Res.Latency.Mean() {
+			t.Errorf("seed %d: batching should win >3x at 60k (off=%v on=%v)",
+				seed, high.Res.Latency.Mean(), highOn.Res.Latency.Mean())
+		}
+		// Estimate ordering must match measured ordering at both ends.
+		if (lowOn.Est[0].Latency < low.Est[0].Latency) != (lowOn.Res.Latency.Mean() < low.Res.Latency.Mean()) {
+			t.Errorf("seed %d: estimate ordering wrong at 5k", seed)
+		}
+		if (highOn.Est[0].Latency < high.Est[0].Latency) != (highOn.Res.Latency.Mean() < high.Res.Latency.Mean()) {
+			t.Errorf("seed %d: estimate ordering wrong at 60k", seed)
+		}
+	}
+}
+
+// TestLinkJitterDoesNotBreakEstimation: with jitter on the wire the whole
+// pipeline must keep functioning and the estimate must stay in regime.
+func TestLinkJitterDoesNotBreakEstimation(t *testing.T) {
+	cal := DefaultCalib()
+	cal.Link.Jitter = 5 * time.Microsecond
+	out := Run(RunSpec{Calib: cal, Seed: 5, Rate: 20000, Duration: 200 * time.Millisecond})
+	if out.Res.Dropped != 0 {
+		t.Fatalf("dropped %d with jitter", out.Res.Dropped)
+	}
+	if !out.Est[0].Valid {
+		t.Fatal("estimate invalid under jitter")
+	}
+	if e := out.Est[0].Latency; e <= 0 || e > time.Millisecond {
+		t.Fatalf("estimate %v implausible under jitter", e)
+	}
+}

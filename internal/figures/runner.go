@@ -1,0 +1,368 @@
+package figures
+
+import (
+	"time"
+
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/hints"
+	"e2ebatch/internal/kv"
+	"e2ebatch/internal/loadgen"
+	"e2ebatch/internal/netem"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/sim"
+	"e2ebatch/internal/tcpsim"
+	"e2ebatch/internal/trace"
+)
+
+// DynamicSpec enables estimate-driven on/off toggling during the run
+// (the policy the paper argues for, §4-§5).
+type DynamicSpec struct {
+	Interval  time.Duration // decision tick (≈ a kernel tick, §5)
+	Objective policy.Objective
+	Toggler   policy.TogglerConfig
+	Unit      tcpsim.Unit
+	Initial   policy.Mode
+	// UseUCB selects the UCB1 bandit controller instead of ε-greedy.
+	UseUCB bool
+}
+
+// modeController abstracts the two bandit controllers (ε-greedy, UCB1).
+type modeController interface {
+	Observe(latency time.Duration, throughput float64, valid bool) policy.Mode
+	Mode() policy.Mode
+	Stats() policy.TogglerStats
+}
+
+// DefaultDynamicSpec returns the toggling setup used by the experiments: a
+// 1 ms tick with the paper's throughput-under-SLO objective.
+func DefaultDynamicSpec(slo time.Duration) *DynamicSpec {
+	return &DynamicSpec{
+		Interval:  time.Millisecond,
+		Objective: policy.ThroughputUnderSLO{SLO: slo},
+		Toggler:   policy.DefaultTogglerConfig(),
+		Unit:      tcpsim.UnitBytes,
+		Initial:   policy.BatchOff,
+	}
+}
+
+// AIMDSpec enables AIMD control of the sender cork threshold (§5 "Better
+// Batching Heuristics").
+type AIMDSpec struct {
+	Interval       time.Duration
+	Min, Max, Step int
+	Backoff        float64
+	SLO            time.Duration
+}
+
+// DefaultAIMDSpec returns the AIMD setup used by the experiments.
+func DefaultAIMDSpec(slo time.Duration) *AIMDSpec {
+	return &AIMDSpec{
+		Interval: time.Millisecond,
+		Min:      1448,
+		Max:      64 << 10,
+		Step:     8 << 10,
+		Backoff:  0.9,
+		SLO:      slo,
+	}
+}
+
+// RunSpec describes one experiment run.
+type RunSpec struct {
+	Calib Calib
+	Seed  int64
+
+	Rate     float64
+	Duration time.Duration
+
+	// BatchOn selects static batching mode (ignored when Dynamic or
+	// AIMD is set).
+	BatchOn bool
+	Dynamic *DynamicSpec
+	AIMD    *AIMDSpec
+
+	// Workload overrides the default SET workload.
+	Workload loadgen.RequestMaker
+	// PreloadKeys populates the store so GETs hit (Figure 4b).
+	PreloadKeys bool
+
+	// ClientScale multiplies client-side costs (Figure 2's VM client).
+	ClientScale float64
+
+	// TraceInterval is the ethtool-style sampling period (default 1 ms).
+	TraceInterval time.Duration
+	// WithHints attaches a create/complete tracker (§3.3).
+	WithHints bool
+	// SyscallBatch > 1 makes the client batch requests per send(2).
+	SyscallBatch int
+
+	// GRO enables receive-side coalescing on both hosts.
+	GRO bool
+	// LossProb injects packet loss on the link (with RTO recovery).
+	LossProb float64
+	// WindowEvery enables the latency-over-time series in the result.
+	WindowEvery time.Duration
+	// ExchangeInterval overrides the metadata-exchange rate limit
+	// (zero keeps the calibration default: state on every segment).
+	ExchangeInterval time.Duration
+	// OnlineEstimateEvery, when positive, samples the online (wire-
+	// exchange-fed) estimator at this period without driving any
+	// policy, accumulating OnlineAvg/OnlineCount — used by the §5
+	// exchange-frequency ablation.
+	OnlineEstimateEvery time.Duration
+}
+
+// RunOut collects everything a figure needs from one run.
+type RunOut struct {
+	Res *loadgen.Result
+	Log *trace.Log
+
+	// Est holds the steady-state offline estimate per unit mode.
+	Est [tcpsim.NumUnits]core.Estimate
+	// HintAvgs is the hint-tracker estimate (valid when WithHints).
+	HintAvgs qstate.Avgs
+
+	ClientAppUtil, ClientSoftUtil float64
+	ServerAppUtil, ServerSoftUtil float64
+
+	ServerStats            kv.SimServerStats
+	ClientConn, ServerConn tcpsim.Stats
+	TogglerStats           policy.TogglerStats
+	FinalMode              policy.Mode
+	// OnShare is the fraction of decision ticks spent in batch-on mode
+	// (Dynamic runs).
+	OnShare         float64
+	FinalCork       int
+	OnlineEstimates int // valid per-tick online estimates (Dynamic)
+
+	// OnlineAvg is the mean of valid per-tick online latency estimates
+	// and OnlineCount their number (OnlineEstimateEvery runs).
+	OnlineAvg   time.Duration
+	OnlineCount int
+}
+
+// Run executes one experiment run and returns its outputs.
+func Run(spec RunSpec) *RunOut {
+	cal := spec.Calib
+	s := sim.New(spec.Seed + 1)
+
+	cs := tcpsim.NewStack(s, "client")
+	cs.TxCosts, cs.RxCosts = cal.ClientTx, cal.ClientRx
+	ss := tcpsim.NewStack(s, "server")
+	ss.TxCosts, ss.RxCosts = cal.ServerTx, cal.ServerRx
+
+	scale := spec.ClientScale
+	if scale <= 0 {
+		scale = 1
+	}
+	if scale != 1 {
+		cs.TxCosts = cs.TxCosts.Scale(scale)
+		cs.RxCosts = cs.RxCosts.Scale(scale)
+	}
+
+	linkCfg := cal.Link
+	if spec.LossProb > 0 {
+		linkCfg.LossProb = spec.LossProb
+	}
+	link := netem.NewLink(s, "wire", linkCfg)
+	tcpCfg := cal.TCP
+	if spec.LossProb > 0 && tcpCfg.RTO == 0 {
+		tcpCfg.RTO = 5 * time.Millisecond
+	}
+	tcpCfg.Nagle = spec.BatchOn && spec.Dynamic == nil && spec.AIMD == nil
+	if tcpCfg.Nagle {
+		tcpCfg.CorkBytes = cal.CorkOnBytes
+	}
+	if spec.AIMD != nil {
+		tcpCfg.Nagle = true
+		tcpCfg.CorkBytes = spec.AIMD.Min
+	}
+	if spec.Dynamic != nil {
+		tcpCfg.Nagle = spec.Dynamic.Initial == policy.BatchOn
+		tcpCfg.CorkBytes = cal.CorkOnBytes
+	}
+	if spec.ExchangeInterval > 0 {
+		tcpCfg.ExchangeInterval = spec.ExchangeInterval
+	}
+	tcpCfg.GRO = spec.GRO
+	cc, sc := tcpsim.Connect(cs, ss, link, tcpCfg)
+
+	store := kv.NewStore(func() time.Duration { return s.Now().Duration() })
+	if spec.PreloadKeys {
+		val := make([]byte, cal.ValSize)
+		for _, k := range loadgen.Keys(cal.KeySize, 16) {
+			store.Set(string(k), val, 0)
+		}
+	}
+	srv := kv.NewSimServer(kv.NewEngine(store), sc, cal.Server)
+
+	lcfg := cal.Load
+	lcfg.Rate = spec.Rate
+	lcfg.Duration = spec.Duration
+	lcfg.Warmup = spec.Duration / 5
+	lcfg.Drain = 50 * time.Millisecond
+	lcfg.SyscallBatch = spec.SyscallBatch
+	lcfg.WindowEvery = spec.WindowEvery
+	if scale != 1 {
+		lcfg.SendCosts = lcfg.SendCosts.Scale(scale)
+		lcfg.ReadCosts = lcfg.ReadCosts.Scale(scale)
+		lcfg.PerResponse = time.Duration(float64(lcfg.PerResponse) * scale)
+		lcfg.PerRespByteNS *= scale
+	}
+	wl := spec.Workload
+	if wl == nil {
+		wl = loadgen.SetWorkload(cal.KeySize, cal.ValSize)
+	}
+	gen := loadgen.New(s, cc, lcfg, wl)
+
+	out := &RunOut{}
+
+	if spec.WithHints {
+		gen.Hints = hints.NewTracker(func() qstate.Time { return qstate.Time(s.Now()) })
+	}
+
+	ti := spec.TraceInterval
+	if ti <= 0 {
+		ti = time.Millisecond
+	}
+	col := trace.NewCollector(s, cc, sc, ti)
+
+	// Estimate-driven dynamic toggling: one estimator tick applies the
+	// chosen mode to both endpoints, exactly what a kernel running the
+	// paper's policy on each side would do.
+	var tog modeController
+	var est core.Estimator
+	applyMode := func(m policy.Mode) {
+		batch := m == policy.BatchOn
+		cc.SetNoDelay(!batch)
+		sc.SetNoDelay(!batch)
+		if batch {
+			cc.SetCorkBytes(cal.CorkOnBytes)
+			sc.SetCorkBytes(cal.CorkOnBytes)
+		}
+	}
+	var onTicks, totalTicks int
+	if spec.Dynamic != nil {
+		d := spec.Dynamic
+		if d.UseUCB {
+			tog = policy.NewUCBToggler(d.Objective, d.Initial)
+		} else {
+			tog = policy.NewToggler(d.Objective, d.Toggler, d.Initial, s.Rand())
+		}
+		applyMode(d.Initial)
+		sim.NewTicker(s, d.Interval, func(sim.Time) {
+			ua, ur, ad := cc.Snapshots(d.Unit)
+			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
+			if ws, _, ok := cc.PeerWireState(); ok {
+				sample.Remote, sample.RemoteOK = ws, true
+			}
+			e := est.Update(sample)
+			if e.Valid {
+				out.OnlineEstimates++
+			}
+			m := tog.Observe(e.Latency, e.Throughput, e.Valid)
+			applyMode(m)
+			totalTicks++
+			if m == policy.BatchOn {
+				onTicks++
+			}
+		})
+	}
+
+	if spec.OnlineEstimateEvery > 0 {
+		var onEst core.Estimator
+		var sum time.Duration
+		warm := spec.Duration / 5
+		sim.NewTicker(s, spec.OnlineEstimateEvery, func(now sim.Time) {
+			ua, ur, ad := cc.Snapshots(tcpsim.UnitBytes)
+			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
+			if ws, _, ok := cc.PeerWireState(); ok {
+				sample.Remote, sample.RemoteOK = ws, true
+			}
+			e := onEst.Update(sample)
+			if e.Valid && now.Duration() >= warm {
+				sum += e.Latency
+				out.OnlineCount++
+				out.OnlineAvg = sum / time.Duration(out.OnlineCount)
+			}
+		})
+	}
+
+	var aimd *policy.AIMD
+	if spec.AIMD != nil {
+		a := spec.AIMD
+		aimd = policy.NewAIMD(a.Min, a.Max, a.Step, a.Backoff)
+		sim.NewTicker(s, a.Interval, func(sim.Time) {
+			ua, ur, ad := cc.Snapshots(tcpsim.UnitBytes)
+			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
+			if ws, _, ok := cc.PeerWireState(); ok {
+				sample.Remote, sample.RemoteOK = ws, true
+			}
+			e := est.Update(sample)
+			if !e.Valid {
+				return
+			}
+			limit := aimd.Observe(e.Latency > a.SLO)
+			batch := !aimd.AtFloor()
+			cc.SetNoDelay(!batch)
+			sc.SetNoDelay(!batch)
+			cc.SetCorkBytes(limit)
+			sc.SetCorkBytes(limit)
+		})
+	}
+
+	out.Res = gen.Run()
+	col.Stop()
+	out.Log = col.Log()
+	for u := 0; u < tcpsim.NumUnits; u++ {
+		out.Est[u] = steadyEstimate(out.Log, tcpsim.Unit(u), spec.Duration/5)
+	}
+	if gen.Hints != nil {
+		out.HintAvgs = hintOverall(gen.Hints)
+	}
+
+	elapsed := s.Now().Duration()
+	out.ClientAppUtil = float64(cs.AppCPU.BusyTime()) / float64(elapsed)
+	out.ClientSoftUtil = float64(cs.SoftirqCPU.BusyTime()) / float64(elapsed)
+	out.ServerAppUtil = float64(ss.AppCPU.BusyTime()) / float64(elapsed)
+	out.ServerSoftUtil = float64(ss.SoftirqCPU.BusyTime()) / float64(elapsed)
+
+	out.ServerStats = srv.Stats()
+	out.ClientConn = cc.Stats()
+	out.ServerConn = sc.Stats()
+	if tog != nil {
+		out.TogglerStats = tog.Stats()
+		out.FinalMode = tog.Mode()
+		if totalTicks > 0 {
+			out.OnShare = float64(onTicks) / float64(totalTicks)
+		}
+	}
+	if aimd != nil {
+		out.FinalCork = aimd.Limit()
+	}
+	return out
+}
+
+// steadyEstimate analyzes the log from after warmup to the end as one
+// interval, mirroring the paper's offline steady-state analysis.
+func steadyEstimate(l *trace.Log, unit tcpsim.Unit, warmup time.Duration) core.Estimate {
+	recs := l.Records
+	if len(recs) < 2 {
+		return core.Estimate{}
+	}
+	i := 0
+	for i < len(recs)-1 && recs[i].At.Duration() < warmup {
+		i++
+	}
+	first, last := recs[i], recs[len(recs)-1]
+	var local, remote core.Delays
+	local = core.DelaysBetween(first.Client[unit], last.Client[unit])
+	remote = core.DelaysBetween(first.Server[unit], last.Server[unit])
+	return core.EstimateE2E(local, remote)
+}
+
+// hintOverall reads the tracker's full-run averages.
+func hintOverall(tr *hints.Tracker) qstate.Avgs {
+	snap := tr.Snapshot()
+	return qstate.GetAvgs(qstate.Snapshot{}, snap)
+}

@@ -1,0 +1,89 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"e2ebatch/internal/loadgen"
+)
+
+// TimelineOut is the convergence trace: per-window mean latency of a
+// dynamic-toggling run started in the wrong mode at a load where that mode
+// collapses, next to the two static baselines — showing the estimator-driven
+// policy digging the system out in a few ticks.
+type TimelineOut struct {
+	Rate     float64
+	Window   time.Duration
+	Off, On  []loadgen.Window
+	Dynamic  []loadgen.Window
+	StaticOn time.Duration
+}
+
+// Timeline runs the three traces at the given rate.
+func Timeline(cal Calib, rate float64, dur time.Duration, seed int64) *TimelineOut {
+	window := 20 * time.Millisecond
+	out := &TimelineOut{Rate: rate, Window: window}
+	for _, mode := range []string{"off", "on", "dyn"} {
+		spec := RunSpec{
+			Calib:       cal,
+			Seed:        seed,
+			Rate:        rate,
+			Duration:    dur,
+			WindowEvery: window,
+		}
+		switch mode {
+		case "off":
+			spec.BatchOn = false
+		case "on":
+			spec.BatchOn = true
+		case "dyn":
+			spec.Dynamic = DefaultDynamicSpec(cal.SLO)
+		}
+		r := Run(spec)
+		switch mode {
+		case "off":
+			out.Off = r.Res.Windows
+		case "on":
+			out.On = r.Res.Windows
+			out.StaticOn = r.Res.Latency.Mean()
+		case "dyn":
+			out.Dynamic = r.Res.Windows
+		}
+	}
+	return out
+}
+
+// WriteTimeline renders the convergence trace with a crude log-scale bar.
+func WriteTimeline(w io.Writer, t *TimelineOut) {
+	fmt.Fprintf(w, "Convergence timeline — %.0f kRPS, %v windows (dynamic starts batch-off)\n",
+		t.Rate/1000, t.Window)
+	fmt.Fprintf(w, "%8s | %10s %10s %10s | dynamic trend\n", "t", "off", "on", "dynamic")
+	n := len(t.Dynamic)
+	if len(t.Off) < n {
+		n = len(t.Off)
+	}
+	if len(t.On) < n {
+		n = len(t.On)
+	}
+	for i := 0; i < n; i++ {
+		d := t.Dynamic[i].Mean()
+		bar := latencyBar(d)
+		fmt.Fprintf(w, "%8v | %10v %10v %10v | %s\n",
+			t.Dynamic[i].Start, t.Off[i].Mean().Round(time.Microsecond),
+			t.On[i].Mean().Round(time.Microsecond), d.Round(time.Microsecond), bar)
+	}
+}
+
+// latencyBar renders a log-scaled bar: one '#' per factor of ~2 above 50µs.
+func latencyBar(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	n := 0
+	for v := d; v > 50*time.Microsecond && n < 24; v /= 2 {
+		n++
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,121 @@
+// Package hints implements the paper's application-cooperation interface
+// (§3.3): a minimalist create(n)/complete(n) API over a userspace-maintained
+// queue-state structure.
+//
+// A cooperative client calls Create when it issues requests and Complete
+// when it receives the matching responses. The single logical queue tracked
+// this way is "requests outstanding end to end", so Little's law applied to
+// it yields exactly the application-perceived latency and throughput — no
+// kernel queue monitoring needed, and the server needs not share anything
+// (top of the paper's Figure 3).
+//
+// In the paper the structure would be handed to send(2) via ancillary data;
+// here the Wire method produces the same 3-tuple the kernel would forward.
+package hints
+
+import (
+	"sync"
+
+	"e2ebatch/internal/qstate"
+)
+
+// Clock supplies the current time in nanoseconds; virtual inside the
+// simulator, wall-clock in the real-socket harness.
+type Clock func() qstate.Time
+
+// Tracker is the userspace queue state behind the create/complete API.
+// It is safe for concurrent use.
+type Tracker struct {
+	mu    sync.Mutex
+	clock Clock
+	st    qstate.State
+}
+
+// NewTracker returns a tracker using the given clock. It panics on a nil
+// clock — silently reading zero times would corrupt every estimate.
+func NewTracker(clock Clock) *Tracker {
+	if clock == nil {
+		panic("hints: nil clock")
+	}
+	t := &Tracker{clock: clock}
+	t.st.Init(clock())
+	return t
+}
+
+// Create records that n requests were just issued.
+func (t *Tracker) Create(n int) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.Track(t.clock(), int64(n))
+}
+
+// Complete records that n requests just completed (their responses were
+// received and consumed). Completing more requests than are outstanding
+// panics — it means the application's bookkeeping is broken and every
+// estimate derived from this tracker would be garbage.
+func (t *Tracker) Complete(n int) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.st.Track(t.clock(), -int64(n))
+}
+
+// Outstanding returns the number of requests issued but not completed.
+func (t *Tracker) Outstanding() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Size
+}
+
+// Snapshot captures the 3-tuple at the current clock time.
+func (t *Tracker) Snapshot() qstate.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Snapshot(t.clock())
+}
+
+// Wire returns the snapshot in the 12-byte wire form a kernel would attach
+// to metadata exchanges on the application's behalf.
+func (t *Tracker) Wire() qstate.WireQueue {
+	return qstate.ToWire(t.Snapshot())
+}
+
+// Estimator derives per-interval application-perceived performance from a
+// Tracker: latency is true request→response time, throughput is completed
+// requests per second. The zero value is unusable; construct with
+// NewEstimator.
+type Estimator struct {
+	t      *Tracker
+	prev   qstate.Snapshot
+	primed bool
+}
+
+// NewEstimator returns an estimator over tr.
+func NewEstimator(tr *Tracker) *Estimator {
+	if tr == nil {
+		panic("hints: nil tracker")
+	}
+	return &Estimator{t: tr}
+}
+
+// Sample snapshots the tracker and returns averages over the interval since
+// the previous Sample (invalid on the priming call and on idle intervals).
+func (e *Estimator) Sample() qstate.Avgs {
+	now := e.t.Snapshot()
+	if !e.primed {
+		e.prev = now
+		e.primed = true
+		return qstate.Avgs{}
+	}
+	a := qstate.GetAvgs(e.prev, now)
+	e.prev = now
+	return a
+}
+
+// Reset discards priming state.
+func (e *Estimator) Reset() { e.primed = false }

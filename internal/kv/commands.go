@@ -1,0 +1,464 @@
+package kv
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"e2ebatch/internal/resp"
+)
+
+// Engine executes RESP commands against a store. It is transport-agnostic:
+// the simulated server (SimServer) and the real-socket server (cmd/kvserver)
+// both drive it.
+type Engine struct {
+	store *Store
+
+	commands uint64
+	errors   uint64
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *Store) *Engine {
+	if st == nil {
+		panic("kv: nil store")
+	}
+	return &Engine{store: st}
+}
+
+// Store returns the underlying store.
+func (e *Engine) Store() *Store { return e.store }
+
+// Commands returns how many commands were executed, and how many returned
+// errors.
+func (e *Engine) Commands() (total, errors uint64) { return e.commands, e.errors }
+
+// Execute runs one client command (an array of bulk strings) and returns
+// the reply. Malformed input yields RESP errors, never panics.
+func (e *Engine) Execute(v resp.Value) resp.Value {
+	e.commands++
+	reply := e.execute(v)
+	if reply.IsError() {
+		e.errors++
+	}
+	return reply
+}
+
+func (e *Engine) execute(v resp.Value) resp.Value {
+	if v.Type != resp.Array || v.Null || len(v.Array) == 0 {
+		return resp.Err("ERR protocol: expected command array")
+	}
+	args := make([][]byte, len(v.Array))
+	for i, a := range v.Array {
+		if a.Type != resp.BulkString || a.Null {
+			return resp.Err("ERR protocol: command arguments must be bulk strings")
+		}
+		args[i] = a.Str
+	}
+	name := strings.ToUpper(string(args[0]))
+	args = args[1:]
+
+	switch name {
+	case "PING":
+		if len(args) == 1 {
+			return resp.Bulk(args[0])
+		}
+		if len(args) > 1 {
+			return arity("ping")
+		}
+		return resp.Pong()
+
+	case "ECHO":
+		if len(args) != 1 {
+			return arity("echo")
+		}
+		return resp.Bulk(args[0])
+
+	case "SET":
+		if len(args) < 2 {
+			return arity("set")
+		}
+		var ttl time.Duration
+		for i := 2; i < len(args); i++ {
+			switch strings.ToUpper(string(args[i])) {
+			case "EX", "PX":
+				unit := time.Second
+				if strings.EqualFold(string(args[i]), "PX") {
+					unit = time.Millisecond
+				}
+				if i+1 >= len(args) {
+					return resp.Err("ERR syntax error")
+				}
+				n, err := strconv.ParseInt(string(args[i+1]), 10, 64)
+				if err != nil || n <= 0 {
+					return resp.Err("ERR invalid expire time in 'set' command")
+				}
+				ttl = time.Duration(n) * unit
+				i++
+			default:
+				return resp.Err("ERR syntax error")
+			}
+		}
+		e.store.Set(string(args[0]), append([]byte(nil), args[1]...), ttl)
+		return resp.OK()
+
+	case "GET":
+		if len(args) != 1 {
+			return arity("get")
+		}
+		if !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		val, ok := e.store.Get(string(args[0]))
+		if !ok {
+			return resp.NullBulk()
+		}
+		return resp.Bulk(val)
+
+	case "SETNX":
+		if len(args) != 2 {
+			return arity("setnx")
+		}
+		if e.store.Kind(string(args[0])) != KindNone {
+			return resp.Int(0)
+		}
+		e.store.Set(string(args[0]), append([]byte(nil), args[1]...), 0)
+		return resp.Int(1)
+
+	case "GETSET":
+		if len(args) != 2 {
+			return arity("getset")
+		}
+		if !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		old, ok := e.store.Get(string(args[0]))
+		e.store.Set(string(args[0]), append([]byte(nil), args[1]...), 0)
+		if !ok {
+			return resp.NullBulk()
+		}
+		return resp.Bulk(old)
+
+	case "GETDEL":
+		if len(args) != 1 {
+			return arity("getdel")
+		}
+		if !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		val, ok := e.store.Get(string(args[0]))
+		if !ok {
+			return resp.NullBulk()
+		}
+		e.store.Del(string(args[0]))
+		return resp.Bulk(val)
+
+	case "PERSIST":
+		if len(args) != 1 {
+			return arity("persist")
+		}
+		if e.store.Persist(string(args[0])) {
+			return resp.Int(1)
+		}
+		return resp.Int(0)
+
+	case "TYPE":
+		if len(args) != 1 {
+			return arity("type")
+		}
+		return resp.Value{Type: resp.SimpleString, Str: []byte(e.store.Kind(string(args[0])).String())}
+
+	case "HSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return arity("hset")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindHash {
+			return wrongType()
+		}
+		var added int64
+		for i := 1; i < len(args); i += 2 {
+			if e.store.HSet(string(args[0]), string(args[i]), append([]byte(nil), args[i+1]...)) {
+				added++
+			}
+		}
+		return resp.Int(added)
+
+	case "HGET":
+		if len(args) != 2 {
+			return arity("hget")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindHash {
+			return wrongType()
+		}
+		v, ok := e.store.HGet(string(args[0]), string(args[1]))
+		if !ok {
+			return resp.NullBulk()
+		}
+		return resp.Bulk(v)
+
+	case "HDEL":
+		if len(args) < 2 {
+			return arity("hdel")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindHash {
+			return wrongType()
+		}
+		return resp.Int(e.store.HDel(string(args[0]), keysOf(args[1:])...))
+
+	case "HLEN":
+		if len(args) != 1 {
+			return arity("hlen")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindHash {
+			return wrongType()
+		}
+		return resp.Int(e.store.HLen(string(args[0])))
+
+	case "HGETALL":
+		if len(args) != 1 {
+			return arity("hgetall")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindHash {
+			return wrongType()
+		}
+		pairs := e.store.HGetAll(string(args[0]))
+		out := make([]resp.Value, 0, 2*len(pairs))
+		for _, p := range pairs {
+			out = append(out, resp.Bulk(p[0]), resp.Bulk(p[1]))
+		}
+		return resp.Value{Type: resp.Array, Array: out}
+
+	case "LPUSH", "RPUSH":
+		if len(args) < 2 {
+			return arity(strings.ToLower(name))
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindList {
+			return wrongType()
+		}
+		vals := make([][]byte, len(args)-1)
+		for i, a := range args[1:] {
+			vals[i] = append([]byte(nil), a...)
+		}
+		if name == "LPUSH" {
+			return resp.Int(e.store.LPush(string(args[0]), vals...))
+		}
+		return resp.Int(e.store.RPush(string(args[0]), vals...))
+
+	case "LPOP", "RPOP":
+		if len(args) != 1 {
+			return arity(strings.ToLower(name))
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindList {
+			return wrongType()
+		}
+		var v []byte
+		var ok bool
+		if name == "LPOP" {
+			v, ok = e.store.LPop(string(args[0]))
+		} else {
+			v, ok = e.store.RPop(string(args[0]))
+		}
+		if !ok {
+			return resp.NullBulk()
+		}
+		return resp.Bulk(v)
+
+	case "LLEN":
+		if len(args) != 1 {
+			return arity("llen")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindList {
+			return wrongType()
+		}
+		return resp.Int(e.store.LLen(string(args[0])))
+
+	case "LRANGE":
+		if len(args) != 3 {
+			return arity("lrange")
+		}
+		if k := e.store.Kind(string(args[0])); k != KindNone && k != KindList {
+			return wrongType()
+		}
+		start, err1 := strconv.ParseInt(string(args[1]), 10, 64)
+		stop, err2 := strconv.ParseInt(string(args[2]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return resp.Err("ERR value is not an integer or out of range")
+		}
+		vals := e.store.LRange(string(args[0]), start, stop)
+		out := make([]resp.Value, len(vals))
+		for i, v := range vals {
+			out[i] = resp.Bulk(v)
+		}
+		return resp.Value{Type: resp.Array, Array: out}
+
+	case "KEYS":
+		if len(args) != 1 {
+			return arity("keys")
+		}
+		keys := e.store.Keys(string(args[0]))
+		out := make([]resp.Value, len(keys))
+		for i, k := range keys {
+			out[i] = resp.Bulk([]byte(k))
+		}
+		return resp.Value{Type: resp.Array, Array: out}
+
+	case "MSET":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return arity("mset")
+		}
+		for i := 0; i < len(args); i += 2 {
+			e.store.Set(string(args[i]), append([]byte(nil), args[i+1]...), 0)
+		}
+		return resp.OK()
+
+	case "MGET":
+		if len(args) == 0 {
+			return arity("mget")
+		}
+		out := make([]resp.Value, len(args))
+		for i, k := range args {
+			if val, ok := e.store.Get(string(k)); ok {
+				out[i] = resp.Bulk(val)
+			} else {
+				out[i] = resp.NullBulk()
+			}
+		}
+		return resp.Value{Type: resp.Array, Array: out}
+
+	case "DEL":
+		if len(args) == 0 {
+			return arity("del")
+		}
+		return resp.Int(e.store.Del(keysOf(args)...))
+
+	case "EXISTS":
+		if len(args) == 0 {
+			return arity("exists")
+		}
+		return resp.Int(e.store.Exists(keysOf(args)...))
+
+	case "INCR", "DECR", "INCRBY", "DECRBY":
+		if len(args) >= 1 && !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		delta := int64(1)
+		switch name {
+		case "INCR":
+			if len(args) != 1 {
+				return arity("incr")
+			}
+		case "DECR":
+			if len(args) != 1 {
+				return arity("decr")
+			}
+			delta = -1
+		default:
+			if len(args) != 2 {
+				return arity(strings.ToLower(name))
+			}
+			n, err := strconv.ParseInt(string(args[1]), 10, 64)
+			if err != nil {
+				return resp.Err("ERR value is not an integer or out of range")
+			}
+			delta = n
+			if name == "DECRBY" {
+				delta = -n
+			}
+		}
+		nv, ok := e.store.IncrBy(string(args[0]), delta)
+		if !ok {
+			return resp.Err("ERR value is not an integer or out of range")
+		}
+		return resp.Int(nv)
+
+	case "APPEND":
+		if len(args) != 2 {
+			return arity("append")
+		}
+		if !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		return resp.Int(e.store.Append(string(args[0]), args[1]))
+
+	case "STRLEN":
+		if len(args) != 1 {
+			return arity("strlen")
+		}
+		if !stringKind(e.store, args[0]) {
+			return wrongType()
+		}
+		return resp.Int(e.store.Strlen(string(args[0])))
+
+	case "EXPIRE", "PEXPIRE":
+		if len(args) != 2 {
+			return arity(strings.ToLower(name))
+		}
+		n, err := strconv.ParseInt(string(args[1]), 10, 64)
+		if err != nil {
+			return resp.Err("ERR value is not an integer or out of range")
+		}
+		unit := time.Second
+		if name == "PEXPIRE" {
+			unit = time.Millisecond
+		}
+		if e.store.Expire(string(args[0]), time.Duration(n)*unit) {
+			return resp.Int(1)
+		}
+		return resp.Int(0)
+
+	case "TTL", "PTTL":
+		if len(args) != 1 {
+			return arity(strings.ToLower(name))
+		}
+		ttl, ok := e.store.TTL(string(args[0]))
+		if !ok {
+			return resp.Int(-2)
+		}
+		if ttl < 0 {
+			return resp.Int(-1)
+		}
+		if name == "TTL" {
+			return resp.Int(int64((ttl + time.Second - 1) / time.Second))
+		}
+		return resp.Int(int64(ttl / time.Millisecond))
+
+	case "DBSIZE":
+		if len(args) != 0 {
+			return arity("dbsize")
+		}
+		return resp.Int(e.store.DBSize())
+
+	case "FLUSHALL":
+		e.store.FlushAll()
+		return resp.OK()
+
+	case "COMMAND", "CONFIG", "CLIENT", "INFO":
+		// Accepted no-ops so standard clients can handshake.
+		return resp.OK()
+
+	default:
+		return resp.Err("ERR unknown command '%s'", strings.ToLower(name))
+	}
+}
+
+func arity(cmd string) resp.Value {
+	return resp.Err("ERR wrong number of arguments for '%s' command", cmd)
+}
+
+func wrongType() resp.Value {
+	return resp.Err("WRONGTYPE Operation against a key holding the wrong kind of value")
+}
+
+// stringKind reports whether key is absent or holds a string.
+func stringKind(s *Store, key []byte) bool {
+	k := s.Kind(string(key))
+	return k == KindNone || k == KindString
+}
+
+func keysOf(args [][]byte) []string {
+	keys := make([]string, len(args))
+	for i, a := range args {
+		keys[i] = string(a)
+	}
+	return keys
+}

@@ -1,0 +1,545 @@
+package kv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/resp"
+)
+
+// manual clock for store tests
+type tclock struct{ now time.Duration }
+
+func (c *tclock) fn() Clock { return func() time.Duration { return c.now } }
+
+func newTestStore() (*Store, *tclock) {
+	c := &tclock{}
+	return NewStore(c.fn()), c
+}
+
+func TestStoreSetGet(t *testing.T) {
+	s, _ := newTestStore()
+	s.Set("k", []byte("v"), 0)
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("Get = %q,%v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	s, c := newTestStore()
+	s.Set("k", []byte("v"), time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("key missing before expiry")
+	}
+	ttl, ok := s.TTL("k")
+	if !ok || ttl != time.Second {
+		t.Fatalf("TTL = %v,%v", ttl, ok)
+	}
+	c.now += 2 * time.Second
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key alive after expiry")
+	}
+	if s.Expired() != 1 {
+		t.Fatalf("expired = %d", s.Expired())
+	}
+	if ttl, _ := s.TTL("k"); ttl != -2 {
+		t.Fatalf("TTL after expiry = %v, want -2", ttl)
+	}
+}
+
+func TestStorePersistentTTL(t *testing.T) {
+	s, _ := newTestStore()
+	s.Set("k", []byte("v"), 0)
+	ttl, ok := s.TTL("k")
+	if !ok || ttl != -1 {
+		t.Fatalf("TTL = %v,%v want -1,true", ttl, ok)
+	}
+}
+
+func TestStoreDelExists(t *testing.T) {
+	s, _ := newTestStore()
+	s.Set("a", nil, 0)
+	s.Set("b", nil, 0)
+	if n := s.Exists("a", "b", "c", "a"); n != 3 {
+		t.Fatalf("Exists = %d, want 3 (with multiplicity)", n)
+	}
+	if n := s.Del("a", "c"); n != 1 {
+		t.Fatalf("Del = %d, want 1", n)
+	}
+	if n := s.DBSize(); n != 1 {
+		t.Fatalf("DBSize = %d", n)
+	}
+}
+
+func TestStoreIncrBy(t *testing.T) {
+	s, _ := newTestStore()
+	if v, ok := s.IncrBy("n", 5); !ok || v != 5 {
+		t.Fatalf("IncrBy = %d,%v", v, ok)
+	}
+	if v, ok := s.IncrBy("n", -2); !ok || v != 3 {
+		t.Fatalf("IncrBy = %d,%v", v, ok)
+	}
+	s.Set("s", []byte("notanumber"), 0)
+	if _, ok := s.IncrBy("s", 1); ok {
+		t.Fatal("IncrBy on non-integer succeeded")
+	}
+}
+
+func TestStoreAppendStrlen(t *testing.T) {
+	s, _ := newTestStore()
+	if n := s.Append("k", []byte("foo")); n != 3 {
+		t.Fatalf("Append = %d", n)
+	}
+	if n := s.Append("k", []byte("bar")); n != 6 {
+		t.Fatalf("Append = %d", n)
+	}
+	if n := s.Strlen("k"); n != 6 {
+		t.Fatalf("Strlen = %d", n)
+	}
+}
+
+func TestStoreExpireAndFlush(t *testing.T) {
+	s, c := newTestStore()
+	s.Set("k", []byte("v"), 0)
+	if !s.Expire("k", time.Minute) {
+		t.Fatal("Expire on existing key failed")
+	}
+	if s.Expire("missing", time.Minute) {
+		t.Fatal("Expire on missing key succeeded")
+	}
+	c.now += 2 * time.Minute
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key alive after Expire elapsed")
+	}
+	s.Set("x", nil, 0)
+	s.FlushAll()
+	if s.DBSize() != 0 {
+		t.Fatal("FlushAll left keys")
+	}
+}
+
+func TestStoreExpireNonPositiveDeletes(t *testing.T) {
+	s, _ := newTestStore()
+	s.Set("k", []byte("v"), 0)
+	s.Expire("k", 0)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Expire(0) did not delete")
+	}
+}
+
+// exec runs a command line through a fresh engine.
+func exec(t *testing.T, e *Engine, args ...string) resp.Value {
+	t.Helper()
+	var p resp.Parser
+	p.Feed(resp.Command(args...))
+	v, ok, err := p.Next()
+	if !ok || err != nil {
+		t.Fatalf("bad test command: %v %v", ok, err)
+	}
+	return e.Execute(v)
+}
+
+func newTestEngine() (*Engine, *tclock) {
+	s, c := newTestStore()
+	return NewEngine(s), c
+}
+
+func TestEnginePingEcho(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "PING"); got.String() != "+PONG" {
+		t.Fatalf("PING = %v", got)
+	}
+	if got := exec(t, e, "ping", "hello"); string(got.Str) != "hello" {
+		t.Fatalf("PING msg = %v", got)
+	}
+	if got := exec(t, e, "ECHO", "x"); string(got.Str) != "x" {
+		t.Fatalf("ECHO = %v", got)
+	}
+}
+
+func TestEngineSetGetDel(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "SET", "k", "v"); got.String() != "+OK" {
+		t.Fatalf("SET = %v", got)
+	}
+	if got := exec(t, e, "GET", "k"); string(got.Str) != "v" {
+		t.Fatalf("GET = %v", got)
+	}
+	if got := exec(t, e, "GET", "nope"); !got.Null {
+		t.Fatalf("GET missing = %v", got)
+	}
+	if got := exec(t, e, "DEL", "k", "nope"); got.Int != 1 {
+		t.Fatalf("DEL = %v", got)
+	}
+}
+
+func TestEngineSetWithExpiry(t *testing.T) {
+	e, c := newTestEngine()
+	exec(t, e, "SET", "k", "v", "PX", "500")
+	c.now += 400 * time.Millisecond
+	if got := exec(t, e, "GET", "k"); got.Null {
+		t.Fatal("key expired early")
+	}
+	c.now += 200 * time.Millisecond
+	if got := exec(t, e, "GET", "k"); !got.Null {
+		t.Fatal("key alive past PX")
+	}
+	if got := exec(t, e, "SET", "k", "v", "EX", "nope"); !got.IsError() {
+		t.Fatalf("bad EX accepted: %v", got)
+	}
+	if got := exec(t, e, "SET", "k", "v", "BOGUS"); !got.IsError() {
+		t.Fatalf("bad option accepted: %v", got)
+	}
+}
+
+func TestEngineCounters(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "INCR", "n"); got.Int != 1 {
+		t.Fatalf("INCR = %v", got)
+	}
+	if got := exec(t, e, "INCRBY", "n", "10"); got.Int != 11 {
+		t.Fatalf("INCRBY = %v", got)
+	}
+	if got := exec(t, e, "DECR", "n"); got.Int != 10 {
+		t.Fatalf("DECR = %v", got)
+	}
+	if got := exec(t, e, "DECRBY", "n", "4"); got.Int != 6 {
+		t.Fatalf("DECRBY = %v", got)
+	}
+	if got := exec(t, e, "INCRBY", "n", "xy"); !got.IsError() {
+		t.Fatalf("INCRBY bad delta = %v", got)
+	}
+}
+
+func TestEngineMSetMGet(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "MSET", "a", "1", "b", "2"); got.String() != "+OK" {
+		t.Fatalf("MSET = %v", got)
+	}
+	got := exec(t, e, "MGET", "a", "nope", "b")
+	if len(got.Array) != 3 {
+		t.Fatalf("MGET = %v", got)
+	}
+	if string(got.Array[0].Str) != "1" || !got.Array[1].Null || string(got.Array[2].Str) != "2" {
+		t.Fatalf("MGET values = %v", got)
+	}
+	if got := exec(t, e, "MSET", "a"); !got.IsError() {
+		t.Fatal("odd MSET accepted")
+	}
+}
+
+func TestEngineTTLCommands(t *testing.T) {
+	e, _ := newTestEngine()
+	exec(t, e, "SET", "k", "v")
+	if got := exec(t, e, "EXPIRE", "k", "10"); got.Int != 1 {
+		t.Fatalf("EXPIRE = %v", got)
+	}
+	if got := exec(t, e, "TTL", "k"); got.Int != 10 {
+		t.Fatalf("TTL = %v", got)
+	}
+	if got := exec(t, e, "PTTL", "k"); got.Int != 10000 {
+		t.Fatalf("PTTL = %v", got)
+	}
+	if got := exec(t, e, "TTL", "missing"); got.Int != -2 {
+		t.Fatalf("TTL missing = %v", got)
+	}
+	if got := exec(t, e, "EXPIRE", "missing", "10"); got.Int != 0 {
+		t.Fatalf("EXPIRE missing = %v", got)
+	}
+}
+
+func TestEngineStringOps(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "APPEND", "k", "abc"); got.Int != 3 {
+		t.Fatalf("APPEND = %v", got)
+	}
+	if got := exec(t, e, "STRLEN", "k"); got.Int != 3 {
+		t.Fatalf("STRLEN = %v", got)
+	}
+}
+
+func TestEngineAdminCommands(t *testing.T) {
+	e, _ := newTestEngine()
+	exec(t, e, "SET", "k", "v")
+	if got := exec(t, e, "DBSIZE"); got.Int != 1 {
+		t.Fatalf("DBSIZE = %v", got)
+	}
+	if got := exec(t, e, "FLUSHALL"); got.String() != "+OK" {
+		t.Fatalf("FLUSHALL = %v", got)
+	}
+	if got := exec(t, e, "DBSIZE"); got.Int != 0 {
+		t.Fatalf("DBSIZE = %v", got)
+	}
+	for _, c := range []string{"COMMAND", "CONFIG", "CLIENT", "INFO"} {
+		if got := exec(t, e, c); got.IsError() {
+			t.Fatalf("%s = %v", c, got)
+		}
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "NOSUCHCMD"); !got.IsError() || !strings.Contains(string(got.Str), "unknown command") {
+		t.Fatalf("unknown = %v", got)
+	}
+	for _, args := range [][]string{
+		{"GET"}, {"SET", "k"}, {"ECHO"}, {"DEL"}, {"EXISTS"},
+		{"INCR"}, {"STRLEN"}, {"EXPIRE", "k"}, {"TTL"}, {"MGET"},
+		{"DBSIZE", "x"},
+	} {
+		if got := exec(t, e, args...); !got.IsError() {
+			t.Errorf("%v accepted: %v", args, got)
+		}
+	}
+	total, errs := e.Commands()
+	if total == 0 || errs == 0 {
+		t.Fatalf("counters: total=%d errs=%d", total, errs)
+	}
+}
+
+func TestEngineRejectsNonArrayInput(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := e.Execute(resp.Int(5)); !got.IsError() {
+		t.Fatalf("non-array accepted: %v", got)
+	}
+	if got := e.Execute(resp.Value{Type: resp.Array}); !got.IsError() {
+		t.Fatalf("empty array accepted: %v", got)
+	}
+	bad := resp.Value{Type: resp.Array, Array: []resp.Value{resp.Int(1)}}
+	if got := e.Execute(bad); !got.IsError() {
+		t.Fatalf("non-bulk args accepted: %v", got)
+	}
+}
+
+func TestEngineLargeValueRoundTrip(t *testing.T) {
+	e, _ := newTestEngine()
+	val := bytes.Repeat([]byte("v"), 16384)
+	var p resp.Parser
+	p.Feed(resp.AppendCommand(nil, []byte("SET"), []byte("bigkey0000000000"), val))
+	cmd, _, _ := p.Next()
+	if got := e.Execute(cmd); got.String() != "+OK" {
+		t.Fatalf("big SET = %v", got)
+	}
+	if got := exec(t, e, "GET", "bigkey0000000000"); len(got.Str) != 16384 {
+		t.Fatalf("big GET = %d bytes", len(got.Str))
+	}
+}
+
+func TestEngineSetNXGetSetGetDel(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "SETNX", "k", "v1"); got.Int != 1 {
+		t.Fatalf("SETNX fresh = %v", got)
+	}
+	if got := exec(t, e, "SETNX", "k", "v2"); got.Int != 0 {
+		t.Fatalf("SETNX existing = %v", got)
+	}
+	if got := exec(t, e, "GET", "k"); string(got.Str) != "v1" {
+		t.Fatalf("SETNX overwrote: %v", got)
+	}
+	if got := exec(t, e, "GETSET", "k", "v3"); string(got.Str) != "v1" {
+		t.Fatalf("GETSET old = %v", got)
+	}
+	if got := exec(t, e, "GETSET", "fresh", "x"); !got.Null {
+		t.Fatalf("GETSET missing = %v", got)
+	}
+	if got := exec(t, e, "GETDEL", "k"); string(got.Str) != "v3" {
+		t.Fatalf("GETDEL = %v", got)
+	}
+	if got := exec(t, e, "GET", "k"); !got.Null {
+		t.Fatalf("GETDEL left key: %v", got)
+	}
+	if got := exec(t, e, "GETDEL", "nope"); !got.Null {
+		t.Fatalf("GETDEL missing = %v", got)
+	}
+}
+
+func TestEnginePersistAndType(t *testing.T) {
+	e, c := newTestEngine()
+	exec(t, e, "SET", "k", "v", "EX", "10")
+	if got := exec(t, e, "PERSIST", "k"); got.Int != 1 {
+		t.Fatalf("PERSIST = %v", got)
+	}
+	c.now += time.Hour
+	if got := exec(t, e, "GET", "k"); got.Null {
+		t.Fatal("PERSIST did not remove TTL")
+	}
+	if got := exec(t, e, "PERSIST", "k"); got.Int != 0 {
+		t.Fatalf("PERSIST without TTL = %v", got)
+	}
+	if got := exec(t, e, "TYPE", "k"); string(got.Str) != "string" {
+		t.Fatalf("TYPE = %v", got)
+	}
+	if got := exec(t, e, "TYPE", "nope"); string(got.Str) != "none" {
+		t.Fatalf("TYPE missing = %v", got)
+	}
+}
+
+func TestEngineKeysGlob(t *testing.T) {
+	e, _ := newTestEngine()
+	for _, k := range []string{"user:1", "user:2", "session:9", "u"} {
+		exec(t, e, "SET", k, "v")
+	}
+	got := exec(t, e, "KEYS", "user:*")
+	if len(got.Array) != 2 || string(got.Array[0].Str) != "user:1" || string(got.Array[1].Str) != "user:2" {
+		t.Fatalf("KEYS user:* = %v", got)
+	}
+	if got := exec(t, e, "KEYS", "*"); len(got.Array) != 4 {
+		t.Fatalf("KEYS * = %v", got)
+	}
+	if got := exec(t, e, "KEYS", "u?er:1"); len(got.Array) != 1 {
+		t.Fatalf("KEYS u?er:1 = %v", got)
+	}
+	if got := exec(t, e, "KEYS", "nomatch*z"); len(got.Array) != 0 {
+		t.Fatalf("KEYS nomatch = %v", got)
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "", true},
+		{"*", "abc", true},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abd", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*b*", "abc", true},
+		{"", "", true},
+		{"", "x", false},
+		{"**", "anything", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXcYYb", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestHashCommands(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "HSET", "h", "f1", "v1", "f2", "v2"); got.Int != 2 {
+		t.Fatalf("HSET = %v", got)
+	}
+	if got := exec(t, e, "HSET", "h", "f1", "v1b"); got.Int != 0 {
+		t.Fatalf("HSET existing = %v", got)
+	}
+	if got := exec(t, e, "HGET", "h", "f1"); string(got.Str) != "v1b" {
+		t.Fatalf("HGET = %v", got)
+	}
+	if got := exec(t, e, "HGET", "h", "nope"); !got.Null {
+		t.Fatalf("HGET missing field = %v", got)
+	}
+	if got := exec(t, e, "HGET", "nokey", "f"); !got.Null {
+		t.Fatalf("HGET missing key = %v", got)
+	}
+	if got := exec(t, e, "HLEN", "h"); got.Int != 2 {
+		t.Fatalf("HLEN = %v", got)
+	}
+	if got := exec(t, e, "TYPE", "h"); string(got.Str) != "hash" {
+		t.Fatalf("TYPE = %v", got)
+	}
+	all := exec(t, e, "HGETALL", "h")
+	if len(all.Array) != 4 || string(all.Array[0].Str) != "f1" || string(all.Array[2].Str) != "f2" {
+		t.Fatalf("HGETALL = %v", all)
+	}
+	if got := exec(t, e, "HDEL", "h", "f1", "ghost"); got.Int != 1 {
+		t.Fatalf("HDEL = %v", got)
+	}
+	exec(t, e, "HDEL", "h", "f2")
+	if got := exec(t, e, "EXISTS", "h"); got.Int != 0 {
+		t.Fatal("emptied hash not removed")
+	}
+	if got := exec(t, e, "HSET", "h", "odd"); !got.IsError() {
+		t.Fatalf("odd HSET accepted: %v", got)
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	e, _ := newTestEngine()
+	if got := exec(t, e, "RPUSH", "l", "b", "c"); got.Int != 2 {
+		t.Fatalf("RPUSH = %v", got)
+	}
+	if got := exec(t, e, "LPUSH", "l", "a"); got.Int != 3 {
+		t.Fatalf("LPUSH = %v", got)
+	}
+	if got := exec(t, e, "LLEN", "l"); got.Int != 3 {
+		t.Fatalf("LLEN = %v", got)
+	}
+	r := exec(t, e, "LRANGE", "l", "0", "-1")
+	if len(r.Array) != 3 || string(r.Array[0].Str) != "a" || string(r.Array[2].Str) != "c" {
+		t.Fatalf("LRANGE = %v", r)
+	}
+	r = exec(t, e, "LRANGE", "l", "-2", "1")
+	if len(r.Array) != 1 || string(r.Array[0].Str) != "b" {
+		t.Fatalf("LRANGE -2..1 = %v", r)
+	}
+	if got := exec(t, e, "LPOP", "l"); string(got.Str) != "a" {
+		t.Fatalf("LPOP = %v", got)
+	}
+	if got := exec(t, e, "RPOP", "l"); string(got.Str) != "c" {
+		t.Fatalf("RPOP = %v", got)
+	}
+	exec(t, e, "LPOP", "l")
+	if got := exec(t, e, "LPOP", "l"); !got.Null {
+		t.Fatalf("LPOP empty = %v", got)
+	}
+	if got := exec(t, e, "EXISTS", "l"); got.Int != 0 {
+		t.Fatal("emptied list not removed")
+	}
+	if got := exec(t, e, "LRANGE", "l", "x", "1"); !got.IsError() {
+		t.Fatalf("bad LRANGE index accepted: %v", got)
+	}
+}
+
+func TestWrongTypeGuards(t *testing.T) {
+	e, _ := newTestEngine()
+	exec(t, e, "HSET", "h", "f", "v")
+	exec(t, e, "RPUSH", "l", "x")
+	exec(t, e, "SET", "s", "v")
+	for _, args := range [][]string{
+		{"GET", "h"}, {"INCR", "h"}, {"APPEND", "h", "x"}, {"STRLEN", "l"},
+		{"GETSET", "l", "v"}, {"GETDEL", "h"},
+		{"HGET", "s", "f"}, {"HSET", "l", "f", "v"}, {"HLEN", "s"}, {"HGETALL", "l"}, {"HDEL", "s", "f"},
+		{"LPUSH", "h", "v"}, {"RPUSH", "s", "v"}, {"LPOP", "h"}, {"LLEN", "h"}, {"LRANGE", "s", "0", "1"},
+	} {
+		got := exec(t, e, args...)
+		if !got.IsError() || !strings.HasPrefix(string(got.Str), "WRONGTYPE") {
+			t.Errorf("%v = %v, want WRONGTYPE", args, got)
+		}
+	}
+	// SETNX on an existing non-string returns 0 without error (Redis
+	// semantics).
+	if got := exec(t, e, "SETNX", "h", "v"); got.Int != 0 || got.IsError() {
+		t.Fatalf("SETNX on hash = %v", got)
+	}
+	// SET overwrites any kind.
+	exec(t, e, "SET", "h", "now-a-string")
+	if got := exec(t, e, "TYPE", "h"); string(got.Str) != "string" {
+		t.Fatalf("SET did not overwrite hash: %v", got)
+	}
+}
+
+func TestHashSurvivesKindAwareHelpers(t *testing.T) {
+	s, _ := newTestStore()
+	s.HSet("h", "f", []byte("v"))
+	if s.Kind("h") != KindHash {
+		t.Fatalf("Kind = %v", s.Kind("h"))
+	}
+	if _, ok := s.Get("h"); ok {
+		t.Fatal("string Get returned a hash")
+	}
+	if n := s.Del("h"); n != 1 {
+		t.Fatal("Del should remove hashes")
+	}
+}

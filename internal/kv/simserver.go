@@ -1,0 +1,159 @@
+package kv
+
+import (
+	"time"
+
+	"e2ebatch/internal/cpumodel"
+	"e2ebatch/internal/resp"
+	"e2ebatch/internal/tcpsim"
+)
+
+// SimServerConfig prices the server application's work in the paper's α/β
+// terms (§2): ReadCosts.PerBatch is the per-wakeup cost β (epoll return +
+// read syscall), ReadCosts.PerItem the per-request cost α, and PerByteNS
+// the parse/copy cost. WriteCosts prices response construction and the send
+// syscall.
+type SimServerConfig struct {
+	ReadCosts  cpumodel.Costs
+	WriteCosts cpumodel.Costs
+}
+
+// DefaultSimServerConfig returns a profile in the ballpark of a Redis server
+// handling 16 KiB SETs on the paper's hardware.
+func DefaultSimServerConfig() SimServerConfig {
+	return SimServerConfig{
+		ReadCosts:  cpumodel.Costs{PerBatch: 4 * time.Microsecond, PerItem: 2 * time.Microsecond, PerByteNS: 0.3},
+		WriteCosts: cpumodel.Costs{PerItem: 1 * time.Microsecond, PerByteNS: 0.1},
+	}
+}
+
+// SimServerStats counts server activity; MaxBatch and the Batches/Requests
+// ratio expose the adaptive batching behaviour (requests per wakeup) that
+// drives the Figure-1 dynamics.
+type SimServerStats struct {
+	Requests    uint64
+	ReadBatches uint64
+	MaxBatch    int
+	BytesIn     uint64
+	BytesOut    uint64
+}
+
+// SimServer is the event-driven mini-Redis serving one simulated
+// connection: the application-thread half of the paper's server machine.
+type SimServer struct {
+	engine *Engine
+	conn   *tcpsim.Conn
+	cfg    SimServerConfig
+
+	parser  resp.Parser
+	pending []resp.Value
+	busy    bool
+
+	stats SimServerStats
+}
+
+// NewSimServer attaches a server to conn, executing against engine.
+func NewSimServer(engine *Engine, conn *tcpsim.Conn, cfg SimServerConfig) *SimServer {
+	s := &SimServer{engine: engine, conn: conn, cfg: cfg}
+	conn.OnReadable(s.wake)
+	return s
+}
+
+// Stats returns a copy of the server counters.
+func (s *SimServer) Stats() SimServerStats { return s.stats }
+
+// Engine returns the command engine.
+func (s *SimServer) Engine() *Engine { return s.engine }
+
+// wake is the epoll-readable event: start a read cycle unless one is
+// already running (in which case the running cycle will re-check).
+func (s *SimServer) wake() {
+	if s.busy {
+		return
+	}
+	s.busy = true
+	s.readCycle()
+}
+
+// readCycle charges the per-wakeup cost, drains the socket, parses the
+// newly arrived commands, and processes them one by one.
+func (s *SimServer) readCycle() {
+	s.conn.Stack().AppCPU.Exec(s.cfg.ReadCosts.PerBatch, func() {
+		data := s.conn.Read(0)
+		if len(data) == 0 && len(s.pending) == 0 {
+			s.finishCycle()
+			return
+		}
+		s.stats.BytesIn += uint64(len(data))
+		s.parser.Feed(data)
+		batch := 0
+		for {
+			v, ok, err := s.parser.Next()
+			if err != nil {
+				// Corrupt stream: answer with an error and stop
+				// reading — the mini-Redis equivalent of closing.
+				s.send(resp.AppendValue(nil, resp.Err("ERR protocol error: %v", err)))
+				s.conn.OnReadable(nil)
+				s.busy = false
+				return
+			}
+			if !ok {
+				break
+			}
+			s.pending = append(s.pending, v)
+			batch++
+		}
+		s.stats.ReadBatches++
+		if batch > s.stats.MaxBatch {
+			s.stats.MaxBatch = batch
+		}
+		s.processNext()
+	})
+}
+
+// processNext handles one pending command, charging α plus byte costs, then
+// recurses; when the queue drains it re-checks the socket.
+func (s *SimServer) processNext() {
+	if len(s.pending) == 0 {
+		s.finishCycle()
+		return
+	}
+	cmd := s.pending[0]
+	s.pending = s.pending[1:]
+	cost := s.cfg.ReadCosts.PerItem + time.Duration(float64(wireSize(cmd))*s.cfg.ReadCosts.PerByteNS)
+	s.conn.Stack().AppCPU.Exec(cost, func() {
+		reply := s.engine.Execute(cmd)
+		s.stats.Requests++
+		wire := resp.AppendValue(nil, reply)
+		s.conn.Stack().AppCPU.Exec(s.cfg.WriteCosts.Item(len(wire)), func() {
+			s.send(wire)
+			s.processNext()
+		})
+	})
+}
+
+func (s *SimServer) send(wire []byte) {
+	s.stats.BytesOut += uint64(len(wire))
+	s.conn.Send(wire)
+}
+
+// finishCycle ends the current cycle and immediately starts another if data
+// arrived while we were busy (level-triggered behaviour built from the
+// edge-triggered OnReadable).
+func (s *SimServer) finishCycle() {
+	s.busy = false
+	if s.conn.Readable() > 0 {
+		s.wake()
+	}
+}
+
+// wireSize approximates the wire size of a parsed command for cost
+// accounting (header bytes are negligible next to 16 KiB values).
+func wireSize(v resp.Value) int {
+	n := 16
+	for _, e := range v.Array {
+		n += len(e.Str) + 16
+	}
+	n += len(v.Str)
+	return n
+}

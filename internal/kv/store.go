@@ -1,0 +1,460 @@
+// Package kv is the mini-Redis substrate: an in-memory key-value store
+// speaking RESP2, with the command surface the paper's evaluation workloads
+// need (SET/GET with 16 B keys and 16 KiB values, §4) plus enough of the
+// usual command set to be a usable server. It runs both inside the
+// simulator (event-driven, SimServer) and over real sockets (cmd/kvserver).
+package kv
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Clock supplies the current time since an arbitrary epoch; virtual inside
+// the simulator, wall-clock outside. It drives TTL expiry.
+type Clock func() time.Duration
+
+// Store is an in-memory string keyspace with per-key TTLs. It is not safe
+// for concurrent use; the real-socket server serializes access (as Redis
+// itself does with its single-threaded command loop).
+type Store struct {
+	clock Clock
+	m     map[string]entry
+
+	expired uint64
+}
+
+// Kind is a value's Redis type.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNone Kind = iota
+	KindString
+	KindHash
+	KindList
+)
+
+// String names the kind the way Redis's TYPE command does.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindHash:
+		return "hash"
+	case KindList:
+		return "list"
+	}
+	return "none"
+}
+
+type entry struct {
+	kind     Kind
+	val      []byte
+	hash     map[string][]byte
+	list     [][]byte
+	expireAt time.Duration // 0 = no expiry
+}
+
+// NewStore returns an empty store. A nil clock panics.
+func NewStore(clock Clock) *Store {
+	if clock == nil {
+		panic("kv: nil clock")
+	}
+	return &Store{clock: clock, m: make(map[string]entry)}
+}
+
+// live fetches the entry if present and unexpired, lazily reaping it
+// otherwise (Redis-style lazy expiry).
+func (s *Store) live(key string) (entry, bool) {
+	e, ok := s.m[key]
+	if !ok {
+		return entry{}, false
+	}
+	if e.expireAt != 0 && s.clock() >= e.expireAt {
+		delete(s.m, key)
+		s.expired++
+		return entry{}, false
+	}
+	return e, true
+}
+
+// Kind reports the live value's type (KindNone when missing).
+func (s *Store) Kind(key string) Kind {
+	e, ok := s.live(key)
+	if !ok {
+		return KindNone
+	}
+	return e.kind
+}
+
+// Set stores a string value under key with optional ttl (0 = no expiry),
+// overwriting any previous value of any kind (as Redis SET does).
+func (s *Store) Set(key string, value []byte, ttl time.Duration) {
+	e := entry{kind: KindString, val: value}
+	if ttl > 0 {
+		e.expireAt = s.clock() + ttl
+	}
+	s.m[key] = e
+}
+
+// Get returns the string value and whether the key exists as a string.
+// Callers that must distinguish "missing" from "wrong type" check Kind
+// first, as the command engine does.
+func (s *Store) Get(key string) ([]byte, bool) {
+	e, ok := s.live(key)
+	if !ok || e.kind != KindString {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Del removes keys, returning how many existed.
+func (s *Store) Del(keys ...string) int64 {
+	var n int64
+	for _, k := range keys {
+		if _, ok := s.live(k); ok {
+			delete(s.m, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Exists counts how many of the given keys exist (with multiplicity, like
+// Redis).
+func (s *Store) Exists(keys ...string) int64 {
+	var n int64
+	for _, k := range keys {
+		if _, ok := s.live(k); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// IncrBy adds delta to the integer stored at key (0 if missing), returning
+// the new value; ok is false if the current value is not an integer.
+func (s *Store) IncrBy(key string, delta int64) (int64, bool) {
+	var cur int64
+	if e, ok := s.live(key); ok {
+		v, err := strconv.ParseInt(string(e.val), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		cur = v
+	}
+	cur += delta
+	// Preserve any existing TTL, as Redis does.
+	e := s.m[key]
+	e.kind = KindString
+	e.val = strconv.AppendInt(nil, cur, 10)
+	s.m[key] = e
+	return cur, true
+}
+
+// Append appends data to the value at key (creating it), returning the new
+// length.
+func (s *Store) Append(key string, data []byte) int64 {
+	e, _ := s.live(key)
+	e.kind = KindString
+	e.val = append(e.val, data...)
+	s.m[key] = e
+	return int64(len(e.val))
+}
+
+// Strlen returns the value length (0 for a missing key).
+func (s *Store) Strlen(key string) int64 {
+	e, _ := s.live(key)
+	return int64(len(e.val))
+}
+
+// Expire sets a ttl on an existing key; it reports whether the key existed.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	e, ok := s.live(key)
+	if !ok {
+		return false
+	}
+	if ttl <= 0 {
+		delete(s.m, key)
+		return true
+	}
+	e.expireAt = s.clock() + ttl
+	s.m[key] = e
+	return true
+}
+
+// TTL returns the remaining lifetime: (-2, false) if missing, (-1, true)
+// if persistent, otherwise (ttl, true).
+func (s *Store) TTL(key string) (time.Duration, bool) {
+	e, ok := s.live(key)
+	if !ok {
+		return -2, false
+	}
+	if e.expireAt == 0 {
+		return -1, true
+	}
+	return e.expireAt - s.clock(), true
+}
+
+// Persist removes the TTL from key, reporting whether a TTL was removed.
+func (s *Store) Persist(key string) bool {
+	e, ok := s.live(key)
+	if !ok || e.expireAt == 0 {
+		return false
+	}
+	e.expireAt = 0
+	s.m[key] = e
+	return true
+}
+
+// Keys returns the live keys matching a Redis-style glob pattern ('*' and
+// '?' wildcards), sorted for determinism.
+func (s *Store) Keys(pattern string) []string {
+	var out []string
+	for k := range s.m {
+		if _, ok := s.live(k); !ok {
+			continue
+		}
+		if globMatch(pattern, k) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// globMatch implements the '*'/'?' subset of Redis glob matching.
+func globMatch(pattern, s string) bool {
+	// Iterative wildcard matcher with single-star backtracking.
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// ---- hashes ----
+// The hash and list methods assume the key's kind has been validated by
+// the caller (the command engine returns WRONGTYPE first); operating on a
+// mismatched kind panics, as it indicates a missing guard.
+
+func (s *Store) hashEntry(key string, create bool) (entry, bool) {
+	e, ok := s.live(key)
+	if !ok {
+		if !create {
+			return entry{}, false
+		}
+		e = entry{kind: KindHash, hash: make(map[string][]byte)}
+		s.m[key] = e
+		return e, true
+	}
+	if e.kind != KindHash {
+		panic("kv: hash operation on non-hash key (engine guard missing)")
+	}
+	return e, true
+}
+
+// HSet sets field in the hash at key, reporting whether the field is new.
+func (s *Store) HSet(key, field string, value []byte) bool {
+	e, _ := s.hashEntry(key, true)
+	_, existed := e.hash[field]
+	e.hash[field] = value
+	return !existed
+}
+
+// HGet fetches a hash field.
+func (s *Store) HGet(key, field string) ([]byte, bool) {
+	e, ok := s.hashEntry(key, false)
+	if !ok {
+		return nil, false
+	}
+	v, ok := e.hash[field]
+	return v, ok
+}
+
+// HDel removes fields, returning how many existed; an emptied hash is
+// removed, like Redis.
+func (s *Store) HDel(key string, fields ...string) int64 {
+	e, ok := s.hashEntry(key, false)
+	if !ok {
+		return 0
+	}
+	var n int64
+	for _, f := range fields {
+		if _, exists := e.hash[f]; exists {
+			delete(e.hash, f)
+			n++
+		}
+	}
+	if len(e.hash) == 0 {
+		delete(s.m, key)
+	}
+	return n
+}
+
+// HLen returns the number of fields.
+func (s *Store) HLen(key string) int64 {
+	e, ok := s.hashEntry(key, false)
+	if !ok {
+		return 0
+	}
+	return int64(len(e.hash))
+}
+
+// HGetAll returns field/value pairs sorted by field for determinism.
+func (s *Store) HGetAll(key string) [][2][]byte {
+	e, ok := s.hashEntry(key, false)
+	if !ok {
+		return nil
+	}
+	fields := make([]string, 0, len(e.hash))
+	for f := range e.hash {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	out := make([][2][]byte, len(fields))
+	for i, f := range fields {
+		out[i] = [2][]byte{[]byte(f), e.hash[f]}
+	}
+	return out
+}
+
+// ---- lists ----
+
+func (s *Store) listEntry(key string, create bool) (*entry, bool) {
+	e, ok := s.live(key)
+	if !ok {
+		if !create {
+			return nil, false
+		}
+		e = entry{kind: KindList}
+		s.m[key] = e
+	} else if e.kind != KindList {
+		panic("kv: list operation on non-list key (engine guard missing)")
+	}
+	// Mutate through a copy written back by the callers below.
+	return &e, true
+}
+
+// LPush prepends values (leftmost argument ends up at the head last, like
+// Redis), returning the new length.
+func (s *Store) LPush(key string, values ...[]byte) int64 {
+	e, _ := s.listEntry(key, true)
+	for _, v := range values {
+		e.list = append([][]byte{v}, e.list...)
+	}
+	s.m[key] = *e
+	return int64(len(e.list))
+}
+
+// RPush appends values, returning the new length.
+func (s *Store) RPush(key string, values ...[]byte) int64 {
+	e, _ := s.listEntry(key, true)
+	e.list = append(e.list, values...)
+	s.m[key] = *e
+	return int64(len(e.list))
+}
+
+// LPop removes and returns the head; RPop the tail. Emptied lists vanish.
+func (s *Store) LPop(key string) ([]byte, bool) { return s.pop(key, true) }
+
+// RPop removes and returns the tail element.
+func (s *Store) RPop(key string) ([]byte, bool) { return s.pop(key, false) }
+
+func (s *Store) pop(key string, head bool) ([]byte, bool) {
+	e, ok := s.listEntry(key, false)
+	if !ok || len(e.list) == 0 {
+		return nil, false
+	}
+	var v []byte
+	if head {
+		v = e.list[0]
+		e.list = e.list[1:]
+	} else {
+		v = e.list[len(e.list)-1]
+		e.list = e.list[:len(e.list)-1]
+	}
+	if len(e.list) == 0 {
+		delete(s.m, key)
+	} else {
+		s.m[key] = *e
+	}
+	return v, true
+}
+
+// LLen returns the list length.
+func (s *Store) LLen(key string) int64 {
+	e, ok := s.listEntry(key, false)
+	if !ok {
+		return 0
+	}
+	return int64(len(e.list))
+}
+
+// LRange returns elements start..stop inclusive with Redis's negative-index
+// semantics.
+func (s *Store) LRange(key string, start, stop int64) [][]byte {
+	e, ok := s.listEntry(key, false)
+	if !ok {
+		return nil
+	}
+	n := int64(len(e.list))
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop || start >= n {
+		return nil
+	}
+	out := make([][]byte, 0, stop-start+1)
+	for i := start; i <= stop; i++ {
+		out = append(out, e.list[i])
+	}
+	return out
+}
+
+// DBSize returns the number of live keys, reaping expired ones it touches.
+func (s *Store) DBSize() int64 {
+	var n int64
+	for k := range s.m {
+		if _, ok := s.live(k); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll removes every key.
+func (s *Store) FlushAll() {
+	s.m = make(map[string]entry)
+}
+
+// Expired returns how many keys lazy expiry has reaped.
+func (s *Store) Expired() uint64 { return s.expired }

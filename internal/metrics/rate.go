@@ -1,0 +1,56 @@
+package metrics
+
+import "time"
+
+// RateMeter counts events against a virtual-time axis and reports rates over
+// the interval since the last Rate call, matching how the experiments sample
+// throughput per measurement window.
+type RateMeter struct {
+	count     uint64
+	lastCount uint64
+	lastAt    time.Duration // virtual timestamp of last sample
+	started   bool
+}
+
+// Add records n events.
+func (r *RateMeter) Add(n uint64) { r.count += n }
+
+// Total returns the cumulative event count.
+func (r *RateMeter) Total() uint64 { return r.count }
+
+// Rate returns events/second over (lastSample, now] and advances the sample
+// point. now is virtual time since the epoch. The first call establishes the
+// baseline measured from zero.
+func (r *RateMeter) Rate(now time.Duration) float64 {
+	defer func() {
+		r.lastCount = r.count
+		r.lastAt = now
+		r.started = true
+	}()
+	var since time.Duration
+	var events uint64
+	if r.started {
+		since = now - r.lastAt
+		events = r.count - r.lastCount
+	} else {
+		since = now
+		events = r.count
+	}
+	if since <= 0 {
+		return 0
+	}
+	return float64(events) / since.Seconds()
+}
+
+// Reset clears all state.
+func (r *RateMeter) Reset() { *r = RateMeter{} }
+
+// Counter is a simple monotonically increasing counter with a name, used by
+// the ethtool-style trace exporter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc increments the counter by n.
+func (c *Counter) Inc(n uint64) { c.Value += n }

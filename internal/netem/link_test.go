@@ -1,0 +1,203 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"e2ebatch/internal/sim"
+)
+
+func gbpsCfg(gbps int64, prop time.Duration) Config {
+	return Config{BitsPerSec: gbps * 1_000_000_000, Propagation: prop}
+}
+
+func TestSendDeliversAfterSerializationAndPropagation(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", gbpsCfg(1, 100*time.Nanosecond)) // 1 Gbps: 8ns/byte
+	var at sim.Time
+	p.Send(125, func() { at = s.Now() }) // 125B = 1000 bits = 1µs at 1Gbps
+	s.Run()
+	want := sim.Time(0).Add(time.Microsecond + 100*time.Nanosecond)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSendFIFOSerialization(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", gbpsCfg(1, 0))
+	var arrivals []sim.Time
+	rec := func() { arrivals = append(arrivals, s.Now()) }
+	p.Send(125, rec) // finishes serializing at 1µs
+	p.Send(125, rec) // queues behind: 2µs
+	s.Run()
+	if arrivals[0] != sim.Time(time.Microsecond) || arrivals[1] != sim.Time(2*time.Microsecond) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+}
+
+func TestSendAfterIdleNoStaleQueue(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", gbpsCfg(1, 0))
+	p.Send(125, func() {})
+	s.RunUntil(sim.Time(10 * time.Microsecond))
+	var at sim.Time
+	p.Send(125, func() { at = s.Now() })
+	s.Run()
+	if at != sim.Time(11*time.Microsecond) {
+		t.Fatalf("delivered at %v, want 11µs", at)
+	}
+}
+
+func TestInfiniteRate(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", Config{Propagation: 5 * time.Nanosecond})
+	var at sim.Time
+	p.Send(1<<20, func() { at = s.Now() })
+	s.Run()
+	if at != 5 {
+		t.Fatalf("delivered at %v, want 5 (no serialization)", at)
+	}
+}
+
+func TestPerPacketOverhead(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", Config{PerPacketOverhead: 10 * time.Nanosecond})
+	var at sim.Time
+	p.Send(100, func() { at = s.Now() })
+	s.Run()
+	if at != 10 {
+		t.Fatalf("delivered at %v, want 10", at)
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", gbpsCfg(1, 0))
+	if p.QueueDelay() != 0 {
+		t.Fatal("fresh pipe has queue delay")
+	}
+	p.Send(1250, func() {}) // 10µs serialization
+	if p.QueueDelay() != 10*time.Microsecond {
+		t.Fatalf("queue delay = %v, want 10µs", p.QueueDelay())
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", Config{})
+	p.Send(10, func() {})
+	p.Send(20, func() {})
+	pk, by, dr := p.Stats()
+	if pk != 2 || by != 30 || dr != 0 {
+		t.Fatalf("stats = %d,%d,%d", pk, by, dr)
+	}
+}
+
+func TestLossDropsAndNeverDelivers(t *testing.T) {
+	s := sim.New(1)
+	p := NewPipe(s, "t", Config{LossProb: 1.0 - 1e-12})
+	delivered := 0
+	for i := 0; i < 100; i++ {
+		p.Send(10, func() { delivered++ })
+	}
+	s.Run()
+	_, _, dr := p.Stats()
+	if dr == 0 {
+		t.Fatal("no drops with ~certain loss")
+	}
+	if delivered != 100-int(dr) {
+		t.Fatalf("delivered %d with %d drops", delivered, dr)
+	}
+}
+
+func TestInvalidLossProbPanics(t *testing.T) {
+	s := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LossProb >= 1 did not panic")
+		}
+	}()
+	NewPipe(s, "t", Config{LossProb: 1.5})
+}
+
+func TestJitterAddsBoundedDelay(t *testing.T) {
+	s := sim.New(1)
+	cfg := Config{Propagation: 100 * time.Nanosecond, Jitter: 50 * time.Nanosecond}
+	p := NewPipe(s, "t", cfg)
+	for i := 0; i < 200; i++ {
+		sent := s.Now()
+		p.Send(0, func() {})
+		arr, ok := s.NextAt()
+		if !ok {
+			t.Fatal("no event")
+		}
+		d := arr.Sub(sent)
+		if d < 100*time.Nanosecond || d >= 150*time.Nanosecond {
+			t.Fatalf("delay %v outside [100ns,150ns)", d)
+		}
+		s.Run()
+	}
+}
+
+func TestLinkIsFullDuplex(t *testing.T) {
+	s := sim.New(1)
+	l := NewLink(s, "lnk", gbpsCfg(1, 0))
+	var a2b, b2a sim.Time
+	l.AtoB.Send(125, func() { a2b = s.Now() })
+	l.BtoA.Send(125, func() { b2a = s.Now() })
+	s.Run()
+	// The directions must not serialize behind each other.
+	if a2b != sim.Time(time.Microsecond) || b2a != sim.Time(time.Microsecond) {
+		t.Fatalf("a2b=%v b2a=%v, want both 1µs", a2b, b2a)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.BitsPerSec != 100_000_000_000 {
+		t.Fatalf("default rate = %d", cfg.BitsPerSec)
+	}
+	if cfg.Propagation <= 0 {
+		t.Fatal("default propagation not positive")
+	}
+}
+
+func TestJitterNeverReorders(t *testing.T) {
+	s := sim.New(3)
+	p := NewPipe(s, "t", Config{Propagation: 100 * time.Nanosecond, Jitter: 5 * time.Microsecond})
+	var order []int
+	for i := 0; i < 500; i++ {
+		i := i
+		p.Send(10, func() { order = append(order, i) })
+	}
+	s.Run()
+	if len(order) != 500 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("reordered delivery at %d: got %d (jitter must preserve FIFO)", i, v)
+		}
+	}
+}
+
+func TestJitteredArrivalsMonotonic(t *testing.T) {
+	s := sim.New(9)
+	p := NewPipe(s, "t", Config{Propagation: time.Microsecond, Jitter: 10 * time.Microsecond})
+	last := sim.Time(-1)
+	ok := true
+	for i := 0; i < 300; i++ {
+		p.Send(1, func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+		s.RunFor(500 * time.Nanosecond)
+	}
+	s.Run()
+	if !ok {
+		t.Fatal("arrival times went backwards")
+	}
+}

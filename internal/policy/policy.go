@@ -1,0 +1,282 @@
+// Package policy turns end-to-end performance estimates into batching
+// decisions — the "dynamic toggling" the paper sketches in §5: an ε-greedy
+// explore/exploit loop over the two batching modes, EWMA smoothing of noisy
+// per-tick estimates, pluggable objectives that trade off throughput and
+// latency (e.g. "maximize throughput as long as latency remains below a
+// specified threshold", §2), and an AIMD batch-limit controller for the
+// "better batching heuristics" direction.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"e2ebatch/internal/metrics"
+)
+
+// Objective scores an observed (latency, throughput) pair; higher is better.
+type Objective interface {
+	Score(latency time.Duration, throughput float64) float64
+	Name() string
+}
+
+// PreferLatency optimizes average latency alone.
+type PreferLatency struct{}
+
+// Score returns the negated latency, so lower latency scores higher.
+func (PreferLatency) Score(l time.Duration, _ float64) float64 { return -float64(l) }
+
+// Name identifies the objective.
+func (PreferLatency) Name() string { return "prefer-latency" }
+
+// PreferThroughput optimizes throughput alone.
+type PreferThroughput struct{}
+
+// Score returns the throughput.
+func (PreferThroughput) Score(_ time.Duration, tput float64) float64 { return tput }
+
+// Name identifies the objective.
+func (PreferThroughput) Name() string { return "prefer-throughput" }
+
+// ThroughputUnderSLO maximizes throughput subject to a latency SLO: any
+// observation meeting the SLO beats any observation violating it; within
+// each class, more throughput / less violation is better. This is the
+// paper's example policy (§2, §5) with the 500 µs SLO of §4.
+type ThroughputUnderSLO struct {
+	SLO time.Duration
+}
+
+// Score implements the lexicographic SLO-then-throughput ordering as a
+// single scalar: SLO-meeting scores are positive and grow with throughput,
+// violating scores are negative and shrink with the violation.
+func (o ThroughputUnderSLO) Score(l time.Duration, tput float64) float64 {
+	if o.SLO <= 0 {
+		return tput
+	}
+	if l <= o.SLO {
+		return 1 + tput
+	}
+	return -float64(l-o.SLO) / float64(o.SLO)
+}
+
+// Name identifies the objective.
+func (o ThroughputUnderSLO) Name() string { return fmt.Sprintf("tput-under-%v", o.SLO) }
+
+// Mode is a batching mode.
+type Mode int
+
+const (
+	// BatchOff means batching disabled (TCP_NODELAY set).
+	BatchOff Mode = iota
+	// BatchOn means batching enabled (Nagle active).
+	BatchOn
+)
+
+// Other returns the opposite mode.
+func (m Mode) Other() Mode { return 1 - m }
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == BatchOn {
+		return "batch-on"
+	}
+	return "batch-off"
+}
+
+// TogglerConfig parameterizes the ε-greedy toggler.
+type TogglerConfig struct {
+	// Epsilon is the per-decision exploration probability.
+	Epsilon float64
+	// EpsilonDecay shrinks the effective exploration rate over time:
+	// ε_t = Epsilon / (1 + EpsilonDecay·decisions). Exploring the losing
+	// mode has a real cost (§5: "an overly heavy approach might nullify
+	// the benefit of batching"), so once the scores are settled the
+	// toggler probes less often. Zero keeps ε constant.
+	EpsilonDecay float64
+	// Alpha is the EWMA smoothing factor applied to per-mode scores
+	// (§5 Toggling Granularity).
+	Alpha float64
+	// MinSamples is how many smoothed observations a mode needs before
+	// its score is trusted for exploitation.
+	MinSamples int
+	// Hysteresis is the relative score margin the other mode must win by
+	// before a non-exploratory switch, suppressing flapping on noise.
+	Hysteresis float64
+	// HoldTicks keeps the mode fixed for this many decisions after any
+	// switch, so an explored mode is observed long enough to matter.
+	HoldTicks int
+	// SkipAfterSwitch discards this many post-switch observations: right
+	// after a switch the estimate still reflects the previous mode's
+	// backlog and would poison the new mode's score.
+	SkipAfterSwitch int
+}
+
+// DefaultTogglerConfig returns the parameters used by the experiments.
+func DefaultTogglerConfig() TogglerConfig {
+	return TogglerConfig{
+		Epsilon: 0.05, EpsilonDecay: 0.01, Alpha: 0.3, MinSamples: 3, Hysteresis: 0.05,
+		HoldTicks: 5, SkipAfterSwitch: 2,
+	}
+}
+
+// Toggler is the ε-greedy on/off batching controller. Feed it one estimate
+// per decision tick via Observe; it returns the mode to run next tick.
+// Not safe for concurrent use.
+type Toggler struct {
+	cfg  TogglerConfig
+	obj  Objective
+	rng  *rand.Rand
+	mode Mode
+
+	score   [2]*metrics.EWMA
+	samples [2]int
+
+	holdLeft int
+	skipLeft int
+
+	stats TogglerStats
+}
+
+// TogglerStats counts toggler activity.
+type TogglerStats struct {
+	Decisions    uint64
+	Switches     uint64
+	Explorations uint64
+	Invalid      uint64
+}
+
+// NewToggler returns a toggler starting in initial mode. rng must be
+// non-nil (pass the simulation's deterministic source).
+func NewToggler(obj Objective, cfg TogglerConfig, initial Mode, rng *rand.Rand) *Toggler {
+	if obj == nil {
+		panic("policy: nil objective")
+	}
+	if rng == nil {
+		panic("policy: nil rng")
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		panic("policy: epsilon must be in [0,1]")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		panic("policy: alpha must be in (0,1]")
+	}
+	return &Toggler{
+		cfg:  cfg,
+		obj:  obj,
+		rng:  rng,
+		mode: initial,
+		score: [2]*metrics.EWMA{
+			metrics.NewEWMA(cfg.Alpha),
+			metrics.NewEWMA(cfg.Alpha),
+		},
+	}
+}
+
+// Mode returns the currently selected batching mode.
+func (t *Toggler) Mode() Mode { return t.mode }
+
+// Stats returns a copy of the toggler's counters.
+func (t *Toggler) Stats() TogglerStats { return t.stats }
+
+// Score returns the smoothed score for mode m and whether it has enough
+// samples to be trusted.
+func (t *Toggler) Score(m Mode) (float64, bool) {
+	return t.score[m].Value(), t.samples[m] >= t.cfg.MinSamples
+}
+
+// Observe feeds the estimate measured while running the current mode and
+// decides the mode for the next interval. Invalid estimates (idle interval)
+// leave the scores untouched but still allow exploration. Observations in
+// the SkipAfterSwitch window after a switch are discarded, and the mode is
+// pinned for HoldTicks decisions following a switch.
+func (t *Toggler) Observe(latency time.Duration, throughput float64, valid bool) Mode {
+	t.stats.Decisions++
+	switch {
+	case t.skipLeft > 0:
+		t.skipLeft--
+	case valid:
+		t.score[t.mode].Update(t.obj.Score(latency, throughput))
+		t.samples[t.mode]++
+	default:
+		t.stats.Invalid++
+	}
+
+	if t.holdLeft > 0 {
+		t.holdLeft--
+		return t.mode
+	}
+
+	eps := t.cfg.Epsilon
+	if t.cfg.EpsilonDecay > 0 {
+		eps /= 1 + t.cfg.EpsilonDecay*float64(t.stats.Decisions)
+	}
+	next := t.mode
+	switch {
+	case t.rng.Float64() < eps:
+		next = t.mode.Other()
+		t.stats.Explorations++
+	case t.samples[t.mode.Other()] >= t.cfg.MinSamples && t.samples[t.mode] >= t.cfg.MinSamples:
+		cur, other := t.score[t.mode].Value(), t.score[t.mode.Other()].Value()
+		if other > cur+t.cfg.Hysteresis*math.Abs(cur) {
+			next = t.mode.Other()
+		}
+	}
+	if next != t.mode {
+		t.stats.Switches++
+		t.mode = next
+		t.holdLeft = t.cfg.HoldTicks
+		t.skipLeft = t.cfg.SkipAfterSwitch
+	}
+	return t.mode
+}
+
+// AIMD is the additive-increase/multiplicative-decrease batch-limit
+// controller the paper proposes as a more principled replacement for on/off
+// toggling (§5 "Better Batching Heuristics"). The controlled value is an
+// abstract batch limit (e.g. a cork-size limit in bytes).
+type AIMD struct {
+	// Min and Max bound the limit; Step is the additive increase;
+	// Backoff in (0,1) is the multiplicative decrease factor.
+	Min, Max, Step int
+	Backoff        float64
+
+	limit int
+}
+
+// NewAIMD returns a controller starting at min. It panics on nonsensical
+// parameters.
+func NewAIMD(min, max, step int, backoff float64) *AIMD {
+	if min <= 0 || max < min || step <= 0 || backoff <= 0 || backoff >= 1 {
+		panic(fmt.Sprintf("policy: invalid AIMD params min=%d max=%d step=%d backoff=%v", min, max, step, backoff))
+	}
+	return &AIMD{Min: min, Max: max, Step: step, Backoff: backoff, limit: min}
+}
+
+// Limit returns the current batch limit.
+func (a *AIMD) Limit() int { return a.limit }
+
+// AtFloor reports whether the limit sits at Min — callers typically disable
+// batching entirely there.
+func (a *AIMD) AtFloor() bool { return a.limit <= a.Min }
+
+// Observe adapts the limit: grow increases it additively, otherwise it
+// decays multiplicatively. Which condition maps to "grow" is the caller's
+// policy — the experiments grow the batch limit while the latency SLO is
+// violated (more batching recovers capacity) and decay it while healthy
+// (less batching trims hold delays). It returns the new limit.
+func (a *AIMD) Observe(grow bool) int {
+	if grow {
+		a.limit += a.Step
+		if a.limit > a.Max {
+			a.limit = a.Max
+		}
+	} else {
+		a.limit = int(float64(a.limit) * a.Backoff)
+		if a.limit < a.Min {
+			a.limit = a.Min
+		}
+	}
+	return a.limit
+}

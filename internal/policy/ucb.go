@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"math"
+	"time"
+
+	"e2ebatch/internal/metrics"
+)
+
+// UCBToggler is an upper-confidence-bound alternative to the ε-greedy
+// Toggler: the paper frames mode selection as a classic
+// exploration-exploitation problem and cites the multi-armed-bandit
+// literature (§5 [5, 28]); UCB1 is the textbook answer. Each decision picks
+// the mode maximizing
+//
+//	score(mode) + C · sqrt(ln(totalPlays) / plays(mode))
+//
+// so the losing mode is re-probed at a logarithmically decaying rate — no
+// tuning of an exploration probability needed. Scores are normalized EWMA
+// objective values; the same Hold/Skip transient guards as the ε-greedy
+// toggler apply.
+type UCBToggler struct {
+	obj  Objective
+	mode Mode
+
+	// C scales the confidence bonus (√2 is the classical choice).
+	c float64
+
+	score [2]*metrics.EWMA
+	plays [2]float64
+	// lo/hi track the observed score range for normalization, since UCB1
+	// assumes rewards in [0, 1].
+	lo, hi float64
+	seen   bool
+
+	holdTicks, skipAfter int
+	holdLeft, skipLeft   int
+
+	stats TogglerStats
+}
+
+// NewUCBToggler returns a UCB1 controller starting in initial mode.
+func NewUCBToggler(obj Objective, initial Mode) *UCBToggler {
+	if obj == nil {
+		panic("policy: nil objective")
+	}
+	return &UCBToggler{
+		obj:       obj,
+		mode:      initial,
+		c:         math.Sqrt2,
+		score:     [2]*metrics.EWMA{metrics.NewEWMA(0.3), metrics.NewEWMA(0.3)},
+		holdTicks: 5,
+		skipAfter: 2,
+	}
+}
+
+// Mode returns the current batching mode.
+func (u *UCBToggler) Mode() Mode { return u.mode }
+
+// Stats returns a copy of the decision counters.
+func (u *UCBToggler) Stats() TogglerStats { return u.stats }
+
+// Observe feeds the estimate for the current mode and returns the mode for
+// the next interval.
+func (u *UCBToggler) Observe(latency time.Duration, throughput float64, valid bool) Mode {
+	u.stats.Decisions++
+	switch {
+	case u.skipLeft > 0:
+		u.skipLeft--
+	case valid:
+		s := u.obj.Score(latency, throughput)
+		if !u.seen || s < u.lo {
+			u.lo = s
+		}
+		if !u.seen || s > u.hi {
+			u.hi = s
+		}
+		u.seen = true
+		u.score[u.mode].Update(s)
+		u.plays[u.mode]++
+	default:
+		u.stats.Invalid++
+	}
+
+	if u.holdLeft > 0 {
+		u.holdLeft--
+		return u.mode
+	}
+
+	// A mode never played has infinite confidence bonus: try it.
+	next := u.mode
+	switch {
+	case u.plays[u.mode.Other()] == 0:
+		if u.plays[u.mode] > 0 {
+			next = u.mode.Other()
+			u.stats.Explorations++
+		}
+	default:
+		total := u.plays[0] + u.plays[1]
+		cur := u.ucb(u.mode, total)
+		other := u.ucb(u.mode.Other(), total)
+		if other > cur {
+			next = u.mode.Other()
+		}
+	}
+	if next != u.mode {
+		u.stats.Switches++
+		u.mode = next
+		u.holdLeft = u.holdTicks
+		u.skipLeft = u.skipAfter
+	}
+	return u.mode
+}
+
+// ucb computes the normalized UCB1 index for mode m.
+func (u *UCBToggler) ucb(m Mode, total float64) float64 {
+	norm := 0.5
+	if u.hi > u.lo {
+		norm = (u.score[m].Value() - u.lo) / (u.hi - u.lo)
+	}
+	return norm + u.c*math.Sqrt(math.Log(total)/u.plays[m])
+}

@@ -1,0 +1,85 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func feedUCB(u *UCBToggler, goodMode Mode, n int) int {
+	res := 0
+	for i := 0; i < n; i++ {
+		if u.Mode() == goodMode {
+			u.Observe(150*time.Microsecond, 60000, true)
+		} else {
+			u.Observe(900*time.Microsecond, 30000, true)
+		}
+		if u.Mode() == goodMode {
+			res++
+		}
+	}
+	return res
+}
+
+func TestUCBConvergesToBetterMode(t *testing.T) {
+	u := NewUCBToggler(ThroughputUnderSLO{SLO: 500 * time.Microsecond}, BatchOff)
+	feedUCB(u, BatchOn, 300)
+	res := feedUCB(u, BatchOn, 300)
+	if res < 240 {
+		t.Fatalf("residency in better mode = %d/300", res)
+	}
+}
+
+func TestUCBProbesLosingModeLogarithmically(t *testing.T) {
+	u := NewUCBToggler(ThroughputUnderSLO{SLO: 500 * time.Microsecond}, BatchOff)
+	feedUCB(u, BatchOn, 2000)
+	st := u.Stats()
+	// The losing mode gets revisited, but far less than half the time.
+	if u.plays[BatchOff] == 0 {
+		t.Fatal("losing mode never probed — UCB must keep exploring")
+	}
+	if u.plays[BatchOff] > u.plays[BatchOn]/4 {
+		t.Fatalf("losing mode played %v vs %v: not decaying", u.plays[BatchOff], u.plays[BatchOn])
+	}
+	if st.Switches == 0 {
+		t.Fatal("no switches at all")
+	}
+}
+
+func TestUCBTracksRegimeChange(t *testing.T) {
+	u := NewUCBToggler(ThroughputUnderSLO{SLO: 500 * time.Microsecond}, BatchOff)
+	feedUCB(u, BatchOn, 400)
+	res := feedUCB(u, BatchOff, 800)
+	if res < 400 {
+		t.Fatalf("post-flip residency = %d/800", res)
+	}
+}
+
+func TestUCBTriesUnplayedModeFirst(t *testing.T) {
+	u := NewUCBToggler(PreferLatency{}, BatchOff)
+	u.Observe(100*time.Microsecond, 1, true) // plays batch-off once
+	if u.Mode() != BatchOn {
+		t.Fatalf("mode = %v, want immediate probe of the unplayed mode", u.Mode())
+	}
+}
+
+func TestUCBInvalidEstimatesDoNotPlay(t *testing.T) {
+	u := NewUCBToggler(PreferLatency{}, BatchOff)
+	for i := 0; i < 10; i++ {
+		u.Observe(0, 0, false)
+	}
+	if u.plays[BatchOff] != 0 || u.plays[BatchOn] != 0 {
+		t.Fatal("invalid estimates were scored")
+	}
+	if u.Stats().Invalid != 10 {
+		t.Fatalf("invalid = %d", u.Stats().Invalid)
+	}
+}
+
+func TestUCBNilObjectivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil objective accepted")
+		}
+	}()
+	NewUCBToggler(nil, BatchOff)
+}

@@ -1,0 +1,122 @@
+package realtcp
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"e2ebatch/internal/policy"
+)
+
+// LoadOptions configures an open-loop load run over a Client.
+type LoadOptions struct {
+	// Rate is the offered load in requests/second; Duration the issue
+	// window.
+	Rate     float64
+	Duration time.Duration
+	// Request is the wire bytes sent per request.
+	Request []byte
+	// Toggler, when non-nil, is fed the client's hint estimates every
+	// Tick and drives TCP_NODELAY (batch-off = NODELAY set).
+	Toggler *policy.Toggler
+	// Tick is the estimate/decision period (default 10 ms).
+	Tick time.Duration
+	// DrainTimeout bounds the wait for outstanding responses (default
+	// 5 s).
+	DrainTimeout time.Duration
+}
+
+// LoadReport summarizes a run.
+type LoadReport struct {
+	Sent      int
+	Mean      time.Duration
+	P50, P99  time.Duration
+	Max       time.Duration
+	FinalMode policy.Mode
+	Toggler   policy.TogglerStats
+	// Estimates counts valid per-tick hint estimates observed.
+	Estimates int
+}
+
+// RunLoad paces requests at the configured rate, optionally toggling
+// TCP_NODELAY from the client's own Little's-law estimates, then drains and
+// reports. This is the userspace-only deployment of the paper's proposal on
+// stock kernels.
+func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
+	if opts.Rate <= 0 || opts.Duration <= 0 || len(opts.Request) == 0 {
+		return nil, errors.New("realtcp: RunLoad needs a positive rate, duration, and a request")
+	}
+	tick := opts.Tick
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	drainTO := opts.DrainTimeout
+	if drainTO <= 0 {
+		drainTO = 5 * time.Second
+	}
+
+	rep := &LoadReport{}
+	stop := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				a := c.Estimate()
+				if a.Valid {
+					rep.Estimates++
+				}
+				if opts.Toggler != nil {
+					m := opts.Toggler.Observe(a.Latency, a.Throughput, a.Valid)
+					_ = c.SetNoDelay(m == policy.BatchOff)
+				}
+			}
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	deadline := time.Now().Add(opts.Duration)
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		if err := c.Send(opts.Request); err != nil {
+			close(stop)
+			<-tickerDone
+			return nil, err
+		}
+		rep.Sent++
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+
+	drainDeadline := time.Now().Add(drainTO)
+	for c.Outstanding() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-tickerDone
+
+	lats := c.Latencies()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		rep.Mean = sum / time.Duration(len(lats))
+		rep.P50 = lats[len(lats)/2]
+		rep.P99 = lats[len(lats)*99/100]
+		rep.Max = lats[len(lats)-1]
+	}
+	if opts.Toggler != nil {
+		rep.Toggler = opts.Toggler.Stats()
+		rep.FinalMode = opts.Toggler.Mode()
+	}
+	return rep, nil
+}

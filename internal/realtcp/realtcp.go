@@ -1,0 +1,334 @@
+// Package realtcp is the real-socket counterpart of the simulation: the
+// mini-Redis engine served over kernel TCP, and a client that maintains the
+// paper's userspace counters (create/complete hints, §3.3), derives live
+// end-to-end estimates from them, and dynamically toggles TCP_NODELAY via
+// the ε-greedy policy — the portion of the paper's proposal that can run on
+// stock kernels with no patches ("userspace emulation with counters and
+// NODELAY toggling only").
+package realtcp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"e2ebatch/internal/hints"
+	"e2ebatch/internal/kv"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/resp"
+)
+
+// Server serves the mini-Redis engine over real TCP connections. Command
+// execution is serialized on one mutex, mirroring Redis's single-threaded
+// command loop.
+type Server struct {
+	mu     sync.Mutex
+	engine *kv.Engine
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// Nagle controls whether accepted connections keep Nagle enabled
+	// (false sets TCP_NODELAY, Redis's default behaviour).
+	Nagle bool
+}
+
+// NewServer returns a server around engine.
+func NewServer(engine *kv.Engine) *Server {
+	return &Server{engine: engine, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close. It returns the first
+// non-temporary accept error, or nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.listener = l
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := tc.SetNoDelay(!s.Nagle); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes active connections, and waits for their
+// handlers to finish.
+func (s *Server) Close() {
+	close(s.closed)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var parser resp.Parser
+	buf := make([]byte, 64<<10)
+	for {
+		// Serve everything already parsed before blocking on the
+		// socket again, so pipelined commands share flushes.
+		served := false
+		for {
+			cmd, ok, err := parser.Next()
+			if err != nil {
+				s.mu.Lock()
+				reply := resp.Err("ERR protocol error: %v", err)
+				s.mu.Unlock()
+				bw.Write(resp.AppendValue(nil, reply))
+				bw.Flush()
+				return
+			}
+			if !ok {
+				break
+			}
+			s.mu.Lock()
+			reply := s.engine.Execute(cmd)
+			s.mu.Unlock()
+			if _, err := bw.Write(resp.AppendValue(nil, reply)); err != nil {
+				return
+			}
+			served = true
+		}
+		if served {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		n, err := br.Read(buf)
+		if n > 0 {
+			parser.Feed(buf[:n])
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Client is a pipelined RESP client over a real TCP connection with the
+// paper's userspace instrumentation: a hints.Tracker fed by create/complete
+// around every request, from which live Little's-law estimates are drawn.
+type Client struct {
+	conn    *net.TCPConn
+	tracker *hints.Tracker
+	est     *hints.Estimator
+	start   time.Time
+
+	mu      sync.Mutex
+	writeMu sync.Mutex
+	sendBuf []byte
+
+	inflight chan time.Time
+	done     chan struct{}
+	readErr  error
+
+	latMu sync.Mutex
+	lats  []time.Duration
+
+	nodelay bool
+}
+
+// Dial connects to a mini-Redis server and starts the response reader.
+// maxInflight bounds pipelining depth.
+func Dial(addr string, maxInflight int) (*Client, error) {
+	if maxInflight <= 0 {
+		maxInflight = 1024
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		nc.Close()
+		return nil, errors.New("realtcp: not a TCP connection")
+	}
+	c := &Client{
+		conn:     tc,
+		start:    time.Now(),
+		inflight: make(chan time.Time, maxInflight),
+		done:     make(chan struct{}),
+		nodelay:  true, // Go's net package default
+	}
+	c.tracker = hints.NewTracker(func() qstate.Time { return qstate.Time(time.Since(c.start)) })
+	c.est = hints.NewEstimator(c.tracker)
+	c.est.Sample() // prime
+	go c.readLoop()
+	return c, nil
+}
+
+// SetNoDelay toggles TCP_NODELAY — the dynamic batching knob.
+func (c *Client) SetNoDelay(v bool) error {
+	if err := c.conn.SetNoDelay(v); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.nodelay = v
+	c.mu.Unlock()
+	return nil
+}
+
+// NoDelay reports the last mode set.
+func (c *Client) NoDelay() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodelay
+}
+
+// Tracker exposes the userspace queue state (e.g. to print counters).
+func (c *Client) Tracker() *hints.Tracker { return c.tracker }
+
+// Estimate returns the Little's-law averages since the previous call — the
+// per-tick observation a toggling policy consumes.
+func (c *Client) Estimate() qstate.Avgs { return c.est.Sample() }
+
+// Send issues one request asynchronously; its completion is recorded when
+// the matching response arrives (FIFO order, as RESP guarantees).
+func (c *Client) Send(cmd []byte) error {
+	select {
+	case <-c.done:
+		return c.err()
+	case c.inflight <- time.Now():
+	}
+	c.tracker.Create(1)
+	c.writeMu.Lock()
+	_, err := c.conn.Write(cmd)
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Do issues one request and waits until all currently outstanding responses
+// (including this one) have arrived. It is a convenience for
+// request-by-request usage; load generation uses Send.
+func (c *Client) Do(cmd []byte) error {
+	if err := c.Send(cmd); err != nil {
+		return err
+	}
+	for {
+		if c.tracker.Outstanding() == 0 {
+			return nil
+		}
+		select {
+		case <-c.done:
+			return c.err()
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// Outstanding returns requests awaiting responses.
+func (c *Client) Outstanding() int64 { return c.tracker.Outstanding() }
+
+// Latencies drains and returns the per-request latencies recorded so far.
+func (c *Client) Latencies() []time.Duration {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	out := c.lats
+	c.lats = nil
+	return out
+}
+
+// Close shuts the connection down and stops the reader.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return io.ErrClosedPipe
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	var parser resp.Parser
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := c.conn.Read(buf)
+		if n > 0 {
+			parser.Feed(buf[:n])
+			for {
+				v, ok, perr := parser.Next()
+				if perr != nil {
+					c.fail(fmt.Errorf("realtcp: corrupt response stream: %w", perr))
+					return
+				}
+				if !ok {
+					break
+				}
+				_ = v
+				select {
+				case sentAt := <-c.inflight:
+					c.tracker.Complete(1)
+					lat := time.Since(sentAt)
+					c.latMu.Lock()
+					c.lats = append(c.lats, lat)
+					c.latMu.Unlock()
+				default:
+					c.fail(errors.New("realtcp: response without pending request"))
+					return
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.fail(err)
+			}
+			return
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.mu.Unlock()
+}

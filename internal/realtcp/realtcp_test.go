@@ -1,0 +1,269 @@
+package realtcp
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/kv"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/resp"
+)
+
+// policyTestToggler builds a toggler with a loopback-appropriate SLO.
+func policyTestToggler() *policy.Toggler {
+	return policy.NewToggler(policy.ThroughputUnderSLO{SLO: 5 * time.Millisecond},
+		policy.DefaultTogglerConfig(), policy.BatchOff, rand.New(rand.NewSource(1)))
+}
+
+// startServer launches a loopback server, returning its address and a
+// cleanup func. Tests skip when the sandbox forbids loopback listening.
+func startServer(t *testing.T) (string, *Server) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	store := kv.NewStore(func() time.Duration { return time.Duration(time.Now().UnixNano()) })
+	srv := NewServer(kv.NewEngine(store))
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return l.Addr().String(), srv
+}
+
+func dialOrFail(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, 256)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPingPong(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	if err := c.Do(resp.Command("PING")); err != nil {
+		t.Fatal(err)
+	}
+	lats := c.Latencies()
+	if len(lats) != 1 {
+		t.Fatalf("latencies = %d, want 1", len(lats))
+	}
+	if lats[0] <= 0 || lats[0] > time.Second {
+		t.Fatalf("latency = %v, implausible", lats[0])
+	}
+}
+
+func TestSetGetThroughRealSockets(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	val := make([]byte, 16384)
+	if err := c.Do(resp.AppendCommand(nil, []byte("SET"), []byte("k"), val)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Do(resp.Command("GET", "k")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", c.Outstanding())
+	}
+}
+
+func TestPipelinedLoadAndHintEstimate(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	const n = 500
+	wire := resp.Command("PING")
+	for i := 0; i < n; i++ {
+		if err := c.Send(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Outstanding() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d after drain", got)
+	}
+	a := c.Estimate()
+	if !a.Valid {
+		t.Fatal("hint estimate invalid after load")
+	}
+	if a.Departures != n {
+		t.Fatalf("departures = %d, want %d", a.Departures, n)
+	}
+	lats := c.Latencies()
+	if len(lats) != n {
+		t.Fatalf("latencies = %d, want %d", len(lats), n)
+	}
+	// The hint latency must be in the same ballpark as the directly
+	// measured mean (both are userspace request→response times).
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	mean := sum / time.Duration(n)
+	if a.Latency < mean/4 || a.Latency > mean*4 {
+		t.Fatalf("hint latency %v vs measured mean %v", a.Latency, mean)
+	}
+}
+
+func TestNoDelayTogglingOnLiveConnection(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	wire := resp.Command("PING")
+	for _, mode := range []bool{false, true, false, true} {
+		if err := c.SetNoDelay(mode); err != nil {
+			t.Fatalf("SetNoDelay(%v): %v", mode, err)
+		}
+		if c.NoDelay() != mode {
+			t.Fatalf("NoDelay() = %v, want %v", c.NoDelay(), mode)
+		}
+		for i := 0; i < 20; i++ {
+			if err := c.Send(wire); err != nil {
+				t.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Outstanding() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if c.Outstanding() != 0 {
+			t.Fatalf("mode %v: requests stuck", mode)
+		}
+	}
+}
+
+func TestServerNagleModeConfigurable(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	store := kv.NewStore(func() time.Duration { return time.Duration(time.Now().UnixNano()) })
+	srv := NewServer(kv.NewEngine(store))
+	srv.Nagle = true
+	go srv.Serve(l)
+	defer srv.Close()
+	c := dialOrFail(t, l.Addr().String())
+	if err := c.Do(resp.Command("PING")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	addr, _ := startServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Skipf("dial unavailable: %v", err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("$garbage\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _ := nc.Read(buf)
+	if n == 0 || buf[0] != '-' {
+		t.Fatalf("expected error reply, got %q", buf[:n])
+	}
+	// The server must then close the connection.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startServer(t)
+	const clients = 4
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(id int) {
+			c, err := Dial(addr, 64)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				if err := c.Do(resp.Command("INCR", "ctr")); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Verify the counter through a fresh client: 4×50 increments.
+	c := dialOrFail(t, addr)
+	if err := c.Do(resp.Command("INCR", "ctr")); err != nil {
+		t.Fatal(err)
+	}
+	// The reply value isn't surfaced by Client; existence of 201st INCR
+	// without protocol error is the assertion here.
+}
+
+func TestRunLoadBasic(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	rep, err := RunLoad(c, LoadOptions{
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Request:  resp.Command("PING"),
+		Tick:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent < 500 {
+		t.Fatalf("sent = %d, want ~1000", rep.Sent)
+	}
+	if rep.Mean <= 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+		t.Fatalf("latency summary inconsistent: %+v", rep)
+	}
+	if rep.Estimates == 0 {
+		t.Fatal("no estimates observed")
+	}
+}
+
+func TestRunLoadWithToggler(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	tog := policyTestToggler()
+	rep, err := RunLoad(c, LoadOptions{
+		Rate:     2000,
+		Duration: 400 * time.Millisecond,
+		Request:  resp.Command("PING"),
+		Toggler:  tog,
+		Tick:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Toggler.Decisions == 0 {
+		t.Fatal("toggler never consulted")
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	addr, _ := startServer(t)
+	c := dialOrFail(t, addr)
+	for _, opts := range []LoadOptions{
+		{Rate: 0, Duration: time.Second, Request: []byte("x")},
+		{Rate: 100, Duration: 0, Request: []byte("x")},
+		{Rate: 100, Duration: time.Second},
+	} {
+		if _, err := RunLoad(c, opts); err == nil {
+			t.Errorf("opts %+v accepted", opts)
+		}
+	}
+}

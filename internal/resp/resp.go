@@ -1,0 +1,313 @@
+// Package resp implements the RESP2 wire protocol spoken by Redis — the
+// request/response framing for the mini-Redis substrate used in the paper's
+// evaluation workloads (§4). The parser is incremental and
+// transport-agnostic: feed it arbitrary byte chunks (as delivered by the
+// simulated or real TCP stream) and pop complete values.
+package resp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Type tags a RESP value with its wire marker byte.
+type Type byte
+
+// RESP2 value types.
+const (
+	SimpleString Type = '+'
+	ErrorString  Type = '-'
+	Integer      Type = ':'
+	BulkString   Type = '$'
+	Array        Type = '*'
+)
+
+// Value is one RESP value. For BulkString and Array, Null marks the RESP
+// null ($-1 / *-1).
+type Value struct {
+	Type  Type
+	Str   []byte  // SimpleString, ErrorString, BulkString payload
+	Int   int64   // Integer payload
+	Array []Value // Array elements
+	Null  bool
+}
+
+// Convenience constructors.
+
+// OK is the "+OK" reply.
+func OK() Value { return Value{Type: SimpleString, Str: []byte("OK")} }
+
+// Pong is the "+PONG" reply.
+func Pong() Value { return Value{Type: SimpleString, Str: []byte("PONG")} }
+
+// Err builds an error reply.
+func Err(format string, args ...any) Value {
+	return Value{Type: ErrorString, Str: []byte(fmt.Sprintf(format, args...))}
+}
+
+// Int builds an integer reply.
+func Int(n int64) Value { return Value{Type: Integer, Int: n} }
+
+// Bulk builds a bulk-string reply.
+func Bulk(b []byte) Value { return Value{Type: BulkString, Str: b} }
+
+// NullBulk is the null bulk string ($-1), Redis's "no such key".
+func NullBulk() Value { return Value{Type: BulkString, Null: true} }
+
+// IsError reports whether v is an error reply.
+func (v Value) IsError() bool { return v.Type == ErrorString }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Type {
+	case SimpleString:
+		return "+" + string(v.Str)
+	case ErrorString:
+		return "-" + string(v.Str)
+	case Integer:
+		return ":" + strconv.FormatInt(v.Int, 10)
+	case BulkString:
+		if v.Null {
+			return "$<null>"
+		}
+		if len(v.Str) > 32 {
+			return fmt.Sprintf("$<%d bytes>", len(v.Str))
+		}
+		return "$" + string(v.Str)
+	case Array:
+		if v.Null {
+			return "*<null>"
+		}
+		return fmt.Sprintf("*<%d elems>", len(v.Array))
+	}
+	return "?"
+}
+
+var crlf = []byte("\r\n")
+
+// AppendValue appends the wire encoding of v to buf.
+func AppendValue(buf []byte, v Value) []byte {
+	switch v.Type {
+	case SimpleString, ErrorString:
+		buf = append(buf, byte(v.Type))
+		buf = append(buf, v.Str...)
+		return append(buf, crlf...)
+	case Integer:
+		buf = append(buf, byte(v.Type))
+		buf = strconv.AppendInt(buf, v.Int, 10)
+		return append(buf, crlf...)
+	case BulkString:
+		if v.Null {
+			return append(buf, "$-1\r\n"...)
+		}
+		buf = append(buf, '$')
+		buf = strconv.AppendInt(buf, int64(len(v.Str)), 10)
+		buf = append(buf, crlf...)
+		buf = append(buf, v.Str...)
+		return append(buf, crlf...)
+	case Array:
+		if v.Null {
+			return append(buf, "*-1\r\n"...)
+		}
+		buf = append(buf, '*')
+		buf = strconv.AppendInt(buf, int64(len(v.Array)), 10)
+		buf = append(buf, crlf...)
+		for _, e := range v.Array {
+			buf = AppendValue(buf, e)
+		}
+		return buf
+	}
+	panic(fmt.Sprintf("resp: unknown type %q", byte(v.Type)))
+}
+
+// AppendCommand appends a client command — an array of bulk strings — to
+// buf. This is how Redis clients encode "SET key value".
+func AppendCommand(buf []byte, args ...[]byte) []byte {
+	buf = append(buf, '*')
+	buf = strconv.AppendInt(buf, int64(len(args)), 10)
+	buf = append(buf, crlf...)
+	for _, a := range args {
+		buf = AppendValue(buf, Bulk(a))
+	}
+	return buf
+}
+
+// Command is shorthand for AppendCommand with string arguments.
+func Command(args ...string) []byte {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return AppendCommand(nil, bs...)
+}
+
+// ErrProtocol is wrapped by all parse errors.
+var ErrProtocol = errors.New("resp: protocol error")
+
+// maxLength bounds declared bulk/array lengths to keep a malformed or
+// malicious peer from forcing huge allocations.
+const maxLength = 512 << 20
+
+// Parser incrementally decodes RESP values from a byte stream. The zero
+// value is ready to use.
+type Parser struct {
+	buf []byte
+	off int
+}
+
+// Feed appends stream bytes to the parse buffer.
+func (p *Parser) Feed(data []byte) {
+	// Compact lazily once consumed bytes dominate.
+	if p.off > 0 && p.off >= len(p.buf)/2 {
+		p.buf = append(p.buf[:0], p.buf[p.off:]...)
+		p.off = 0
+	}
+	p.buf = append(p.buf, data...)
+}
+
+// Buffered returns the number of unconsumed bytes.
+func (p *Parser) Buffered() int { return len(p.buf) - p.off }
+
+// Next returns the next complete value. ok is false when more bytes are
+// needed. A non-nil error means the stream is corrupt; the parser is then
+// unusable for further input.
+func (p *Parser) Next() (v Value, ok bool, err error) {
+	v, n, err := parseValue(p.buf[p.off:])
+	if err != nil || n == 0 {
+		return Value{}, false, err
+	}
+	p.off += n
+	return v, true, nil
+}
+
+// parseValue attempts to decode one value from b, returning the bytes
+// consumed (0 when incomplete).
+func parseValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Value{}, 0, nil
+	}
+	t := Type(b[0])
+	switch t {
+	case SimpleString, ErrorString, Integer:
+		line, n := takeLine(b[1:])
+		if n == 0 {
+			return Value{}, 0, nil
+		}
+		v := Value{Type: t}
+		if t == Integer {
+			i, err := strconv.ParseInt(string(line), 10, 64)
+			if err != nil {
+				return Value{}, 0, fmt.Errorf("%w: bad integer %q", ErrProtocol, line)
+			}
+			v.Int = i
+		} else {
+			v.Str = append([]byte(nil), line...)
+		}
+		return v, 1 + n, nil
+	case BulkString:
+		line, n := takeLine(b[1:])
+		if n == 0 {
+			return Value{}, 0, nil
+		}
+		length, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil || length < -1 || length > maxLength {
+			return Value{}, 0, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if length == -1 {
+			return Value{Type: t, Null: true}, 1 + n, nil
+		}
+		head := 1 + n
+		need := head + int(length) + 2
+		if len(b) < need {
+			return Value{}, 0, nil
+		}
+		if b[need-2] != '\r' || b[need-1] != '\n' {
+			return Value{}, 0, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		return Value{Type: t, Str: append([]byte(nil), b[head:head+int(length)]...)}, need, nil
+	case Array:
+		line, n := takeLine(b[1:])
+		if n == 0 {
+			return Value{}, 0, nil
+		}
+		count, err := strconv.ParseInt(string(line), 10, 64)
+		if err != nil || count < -1 || count > maxLength {
+			return Value{}, 0, fmt.Errorf("%w: bad array length %q", ErrProtocol, line)
+		}
+		if count == -1 {
+			return Value{Type: t, Null: true}, 1 + n, nil
+		}
+		off := 1 + n
+		elems := make([]Value, 0, count)
+		for i := int64(0); i < count; i++ {
+			e, n, err := parseValue(b[off:])
+			if err != nil {
+				return Value{}, 0, err
+			}
+			if n == 0 {
+				return Value{}, 0, nil
+			}
+			elems = append(elems, e)
+			off += n
+		}
+		return Value{Type: t, Array: elems}, off, nil
+	}
+	// Inline command (the Redis telnet convenience): a bare line split on
+	// whitespace becomes an array of bulk strings, e.g. "PING\r\n".
+	return parseInline(b)
+}
+
+// maxInlineLength bounds unframed inline lines, as Redis does (64 KiB).
+const maxInlineLength = 64 << 10
+
+func parseInline(b []byte) (Value, int, error) {
+	line, n := takeLine(b)
+	if n == 0 {
+		if len(b) > maxInlineLength {
+			return Value{}, 0, fmt.Errorf("%w: unterminated inline command", ErrProtocol)
+		}
+		return Value{}, 0, nil
+	}
+	fields := splitInline(line)
+	if len(fields) == 0 {
+		// Empty line: consumed, no value; the caller's loop retries on
+		// the remaining buffer via zero-value-with-consumed semantics,
+		// which parseValue cannot express — so treat as protocol noise.
+		return Value{}, 0, fmt.Errorf("%w: empty inline command", ErrProtocol)
+	}
+	arr := make([]Value, len(fields))
+	for i, f := range fields {
+		arr[i] = Bulk(append([]byte(nil), f...))
+	}
+	return Value{Type: Array, Array: arr}, n, nil
+}
+
+func splitInline(line []byte) [][]byte {
+	var out [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			out = append(out, line[start:i])
+		}
+	}
+	return out
+}
+
+// takeLine returns the bytes before the next CRLF and the total bytes
+// consumed including the CRLF (0 when no full line is buffered).
+func takeLine(b []byte) ([]byte, int) {
+	for i := 0; i+1 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' {
+			return b[:i], i + 2
+		}
+	}
+	return nil, 0
+}

@@ -1,0 +1,341 @@
+package resp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeSimpleTypes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{OK(), "+OK\r\n"},
+		{Pong(), "+PONG\r\n"},
+		{Err("ERR boom"), "-ERR boom\r\n"},
+		{Int(42), ":42\r\n"},
+		{Int(-7), ":-7\r\n"},
+		{Bulk([]byte("hello")), "$5\r\nhello\r\n"},
+		{Bulk(nil), "$0\r\n\r\n"},
+		{NullBulk(), "$-1\r\n"},
+		{Value{Type: Array, Null: true}, "*-1\r\n"},
+		{Value{Type: Array, Array: []Value{Int(1), Bulk([]byte("x"))}}, "*2\r\n:1\r\n$1\r\nx\r\n"},
+	}
+	for _, c := range cases {
+		if got := string(AppendValue(nil, c.v)); got != c.want {
+			t.Errorf("encode %v = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCommandEncoding(t *testing.T) {
+	got := string(Command("SET", "k", "v"))
+	want := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"
+	if got != want {
+		t.Fatalf("Command = %q, want %q", got, want)
+	}
+}
+
+func TestParseWholeValues(t *testing.T) {
+	var p Parser
+	p.Feed([]byte("+OK\r\n:123\r\n$3\r\nfoo\r\n*2\r\n+a\r\n+b\r\n$-1\r\n"))
+	want := []Value{
+		OK(),
+		Int(123),
+		Bulk([]byte("foo")),
+		{Type: Array, Array: []Value{
+			{Type: SimpleString, Str: []byte("a")},
+			{Type: SimpleString, Str: []byte("b")},
+		}},
+		NullBulk(),
+	}
+	for i, w := range want {
+		v, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("value %d: ok=%v err=%v", i, ok, err)
+		}
+		if v.String() != w.String() {
+			t.Fatalf("value %d = %v, want %v", i, v, w)
+		}
+	}
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("extra value")
+	}
+	if p.Buffered() != 0 {
+		t.Fatalf("buffered = %d", p.Buffered())
+	}
+}
+
+func TestParseIncrementalByteAtATime(t *testing.T) {
+	wire := AppendCommand(nil, []byte("SET"), []byte("key"), bytes.Repeat([]byte("v"), 100))
+	var p Parser
+	var got []Value
+	for _, b := range wire {
+		p.Feed([]byte{b})
+		for {
+			v, ok, err := p.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("values = %d, want 1", len(got))
+	}
+	if len(got[0].Array) != 3 || string(got[0].Array[0].Str) != "SET" {
+		t.Fatalf("parsed %v", got[0])
+	}
+}
+
+func TestParseSplitAcrossFeeds(t *testing.T) {
+	wire := []byte("$10\r\n0123456789\r\n")
+	for cut := 1; cut < len(wire); cut++ {
+		var p Parser
+		p.Feed(wire[:cut])
+		if _, ok, err := p.Next(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		} else if ok && cut < len(wire) {
+			t.Fatalf("cut %d: complete too early", cut)
+		}
+		p.Feed(wire[cut:])
+		v, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("cut %d: ok=%v err=%v", cut, ok, err)
+		}
+		if string(v.Str) != "0123456789" {
+			t.Fatalf("cut %d: got %q", cut, v.Str)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, wire := range []string{
+		":notanum\r\n",
+		"$abc\r\n",
+		"$-2\r\n",
+		"*-2\r\n",
+		"$3\r\nfooXY", // bad terminator
+	} {
+		var p Parser
+		p.Feed([]byte(wire))
+		_, ok, err := p.Next()
+		if err == nil {
+			t.Errorf("wire %q: ok=%v, want error", wire, ok)
+		}
+	}
+}
+
+func TestParseHugeDeclaredLengthRejected(t *testing.T) {
+	var p Parser
+	p.Feed([]byte("$999999999999\r\n"))
+	if _, _, err := p.Next(); err == nil {
+		t.Fatal("huge bulk length accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var gen func(depth int) Value
+	gen = func(depth int) Value {
+		switch k := rng.Intn(6); {
+		case k == 0:
+			return Value{Type: SimpleString, Str: []byte(strings.Repeat("s", rng.Intn(20)))}
+		case k == 1:
+			return Err("E%d", rng.Intn(100))
+		case k == 2:
+			return Int(rng.Int63() - rng.Int63())
+		case k == 3:
+			b := make([]byte, rng.Intn(1000))
+			rng.Read(b)
+			return Bulk(b)
+		case k == 4:
+			return NullBulk()
+		default:
+			if depth >= 3 {
+				return Int(1)
+			}
+			n := rng.Intn(5)
+			arr := make([]Value, n)
+			for i := range arr {
+				arr[i] = gen(depth + 1)
+			}
+			return Value{Type: Array, Array: arr}
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		want := gen(0)
+		wire := AppendValue(nil, want)
+		var p Parser
+		p.Feed(wire)
+		got, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("trial %d: ok=%v err=%v wire=%q", trial, ok, err, wire)
+		}
+		if !valueEqual(got, want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		if p.Buffered() != 0 {
+			t.Fatalf("trial %d: leftover %d bytes", trial, p.Buffered())
+		}
+	}
+}
+
+func valueEqual(a, b Value) bool {
+	if a.Type != b.Type || a.Null != b.Null || a.Int != b.Int || !bytes.Equal(a.Str, b.Str) {
+		return false
+	}
+	if len(a.Array) != len(b.Array) {
+		return false
+	}
+	for i := range a.Array {
+		if !valueEqual(a.Array[i], b.Array[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPipelinedCommandsParseIndividually(t *testing.T) {
+	var wire []byte
+	for i := 0; i < 50; i++ {
+		wire = AppendCommand(wire, []byte("PING"))
+	}
+	var p Parser
+	p.Feed(wire)
+	n := 0
+	for {
+		_, ok, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("parsed %d commands, want 50", n)
+	}
+}
+
+func TestParserCompaction(t *testing.T) {
+	// Long-running parsers must not grow without bound.
+	var p Parser
+	wire := Command("PING")
+	for i := 0; i < 10000; i++ {
+		p.Feed(wire)
+		if _, ok, err := p.Next(); !ok || err != nil {
+			t.Fatalf("iter %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if cap(p.buf) > 4096 {
+		t.Fatalf("parser buffer grew to %d bytes", cap(p.buf))
+	}
+}
+
+func TestTakeLineProperty(t *testing.T) {
+	check := func(pre []byte) bool {
+		// Lines never contain CR or LF in valid RESP; sanitize.
+		for i := range pre {
+			if pre[i] == '\r' || pre[i] == '\n' {
+				pre[i] = 'x'
+			}
+		}
+		wire := append(append([]byte{}, pre...), '\r', '\n')
+		line, n := takeLine(wire)
+		return n == len(wire) && bytes.Equal(line, pre)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueStringDiagnostics(t *testing.T) {
+	if s := Bulk(bytes.Repeat([]byte("a"), 100)).String(); !strings.Contains(s, "100 bytes") {
+		t.Fatalf("big bulk string rendering = %q", s)
+	}
+	if NullBulk().String() != "$<null>" {
+		t.Fatalf("null bulk = %q", NullBulk().String())
+	}
+}
+
+func BenchmarkParseSetCommand(b *testing.B) {
+	wire := AppendCommand(nil, []byte("SET"), bytes.Repeat([]byte("k"), 16), bytes.Repeat([]byte("v"), 16384))
+	var p Parser
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Feed(wire)
+		if _, ok, err := p.Next(); !ok || err != nil {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+func TestInlineCommands(t *testing.T) {
+	var p Parser
+	p.Feed([]byte("PING\r\nSET  key \tvalue\r\n"))
+	v, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("inline PING: %v %v", ok, err)
+	}
+	if v.Type != Array || len(v.Array) != 1 || string(v.Array[0].Str) != "PING" {
+		t.Fatalf("inline PING = %v", v)
+	}
+	v, ok, err = p.Next()
+	if err != nil || !ok {
+		t.Fatalf("inline SET: %v %v", ok, err)
+	}
+	if len(v.Array) != 3 || string(v.Array[1].Str) != "key" || string(v.Array[2].Str) != "value" {
+		t.Fatalf("inline SET = %v", v)
+	}
+}
+
+func TestInlineIncomplete(t *testing.T) {
+	var p Parser
+	p.Feed([]byte("PIN"))
+	if _, ok, err := p.Next(); ok || err != nil {
+		t.Fatalf("partial inline: ok=%v err=%v", ok, err)
+	}
+	p.Feed([]byte("G\r\n"))
+	v, ok, err := p.Next()
+	if err != nil || !ok || string(v.Array[0].Str) != "PING" {
+		t.Fatalf("completed inline = %v (%v, %v)", v, ok, err)
+	}
+}
+
+func TestInlineEmptyLineRejected(t *testing.T) {
+	var p Parser
+	p.Feed([]byte(" \t\r\n"))
+	if _, _, err := p.Next(); err == nil {
+		t.Fatal("blank inline line accepted")
+	}
+}
+
+func TestInlineOversizedRejected(t *testing.T) {
+	var p Parser
+	p.Feed(bytes.Repeat([]byte("x"), maxInlineLength+10))
+	if _, _, err := p.Next(); err == nil {
+		t.Fatal("unterminated oversized inline accepted")
+	}
+}
+
+func TestInlineDrivesEngineCompatibleShape(t *testing.T) {
+	// An inline command must produce the same Value shape as the framed
+	// equivalent, so command engines treat both identically.
+	var a, b Parser
+	a.Feed([]byte("SET k v\r\n"))
+	b.Feed(Command("SET", "k", "v"))
+	va, _, _ := a.Next()
+	vb, _, _ := b.Next()
+	if !valueEqual(va, vb) {
+		t.Fatalf("inline %v != framed %v", va, vb)
+	}
+}

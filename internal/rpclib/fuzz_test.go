@@ -1,0 +1,27 @@
+package rpclib
+
+import "testing"
+
+// FuzzDecoder: arbitrary bytes must never panic the frame decoder, and any
+// decoded frame must re-encode to the bytes just consumed.
+func FuzzDecoder(f *testing.F) {
+	f.Add(AppendFrame(nil, 1, KindRequest, []byte("payload")))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Decoder
+		d.Feed(data)
+		for i := 0; i < 100; i++ {
+			fr, ok, err := d.Next()
+			if err != nil || !ok {
+				return
+			}
+			wire := AppendFrame(nil, fr.ID, fr.Kind, fr.Payload)
+			var d2 Decoder
+			d2.Feed(wire)
+			fr2, ok2, err2 := d2.Next()
+			if err2 != nil || !ok2 || fr2.ID != fr.ID || fr2.Kind != fr.Kind || len(fr2.Payload) != len(fr.Payload) {
+				t.Fatalf("frame round trip failed: %+v vs %+v", fr, fr2)
+			}
+		}
+	})
+}

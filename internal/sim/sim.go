@@ -1,0 +1,227 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives all userspace emulation in this repository: a virtual
+// clock measured in nanoseconds, an event heap ordered by (time, insertion
+// sequence), cancellable timers, and a seeded random source. Determinism is
+// a design goal — running the same scenario twice produces byte-identical
+// results, which is what makes the estimator-accuracy experiments
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It intentionally mirrors time.Duration's representation so the
+// two convert trivially.
+type Time int64
+
+// Duration converts a virtual instant into the elapsed time.Duration since
+// the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier.
+func (t Time) Sub(earlier Time) time.Duration { return time.Duration(t - earlier) }
+
+// String formats the instant as a duration since the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are managed by the engine; user code
+// holds *Event only to cancel it.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among simultaneous events
+	index  int    // heap index, -1 when not queued
+	fn     func()
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before it fired.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is not ready for use;
+// construct with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	rng     *rand.Rand
+	stopped bool
+
+	// Stats
+	fired uint64
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it indicates a logic error in the model, and silently clamping would warp
+// measured delays.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.heap, e.index)
+}
+
+// Step executes the next event, advancing the clock to its scheduled time.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= t, then advances the clock
+// to exactly t (even if the queue drained earlier). Events scheduled at
+// exactly t do run.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.heap) == 0 {
+			break
+		}
+		next := s.peek()
+		if next == nil || next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor is shorthand for RunUntil(Now()+d).
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Stop makes the currently executing Run/RunUntil return after the current
+// event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+func (s *Sim) peek() *Event {
+	for len(s.heap) > 0 {
+		if s.heap[0].cancel {
+			heap.Pop(&s.heap)
+			continue
+		}
+		return s.heap[0]
+	}
+	return nil
+}
+
+// NextAt returns the scheduled time of the next pending event and whether
+// one exists.
+func (s *Sim) NextAt() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}

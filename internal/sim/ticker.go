@@ -1,0 +1,49 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period, emulating the
+// kernel tick granularity the paper suggests for batching-toggle decisions
+// (§5 "Toggling Granularity"). Stop it to cease firing.
+type Ticker struct {
+	sim    *Sim
+	period time.Duration
+	fn     func(now Time)
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker starts a ticker firing every period, first at now+period.
+// It panics if period is not positive.
+func NewTicker(s *Sim, period time.Duration, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.sim.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times and from within the
+// tick callback.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+	}
+}
+
+// Period returns the tick period.
+func (t *Ticker) Period() time.Duration { return t.period }

@@ -1,0 +1,743 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"e2ebatch/internal/netem"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/sim"
+)
+
+// segment is what travels on the wire: a (possibly empty) payload flush plus
+// the piggybacked cumulative ACK, advertised window, sender message
+// boundaries, and — when due — the 36-byte queue-state metadata exchange.
+type segment struct {
+	payload []byte
+	start   int64 // absolute stream offset of payload[0]
+	nsegs   int   // number of MSS wire segments in this flush
+	bounds  []int64
+
+	ack int64
+	wnd int64
+
+	hasState bool
+	state    qstate.WireState
+}
+
+// Stats counts connection-level events; all fields are cumulative.
+type Stats struct {
+	Flushes         uint64 // transmit flushes (skbs)
+	Segments        uint64 // MSS wire segments
+	BytesSent       uint64 // payload bytes transmitted
+	Sends           uint64 // application Send calls
+	PureAcks        uint64 // standalone ACK segments sent
+	AcksSuppressed  uint64 // scheduled ACKs that became redundant
+	GROBatches      uint64 // receive-side processing batches (GRO on)
+	GROMerged       uint64 // extra flushes merged into a batch beyond the first
+	Retransmits     uint64 // go-back-N retransmission rounds (RTO fired)
+	DupPayloads     uint64 // received payloads discarded as duplicate/out-of-order
+	NagleHolds      uint64 // times a sub-MSS tail was held
+	CorkTimeouts    uint64 // held data released by the cork timer
+	DelAckTimeouts  uint64 // ACKs released by the delayed-ACK timer
+	WindowStalls    uint64 // pump() stopped by a closed receive window
+	StatesExchanged uint64 // metadata exchanges attached to segments
+}
+
+// Conn is one endpoint of an emulated TCP connection. All methods must be
+// called from within the owning simulator's event loop (the usual
+// discrete-event discipline); Conn is not safe for concurrent use.
+type Conn struct {
+	stack *Stack
+	cfg   Config
+	tx    *netem.Pipe
+	peer  *Conn
+	name  string
+
+	// ---- sender state ----
+	sndUna   int64 // oldest unacknowledged offset
+	sndNxt   int64 // next offset to transmit
+	sndLimit int64 // highest offset the peer's window permits
+	wq       []byte
+	// msgEndsUntx are send-call boundaries not yet transmitted (carried
+	// to the peer in flushes); msgEndsUnacked are boundaries not yet
+	// ACKed (for UnitSends unacked accounting). Both ascending.
+	msgEndsUntx    []int64
+	msgEndsUnacked []int64
+	segEnds        []int64 // ends of in-flight wire segments, ascending
+	nodelay        bool
+	corkBytes      int64 // Nagle hold threshold (MSS = classic Nagle)
+	corkEv         *sim.Event
+	// rtxBuf holds the unACKed byte range [sndUna, sndNxt) for go-back-N
+	// retransmission on lossy links (Config.RTO > 0).
+	rtxBuf     []byte
+	rtoEv      *sim.Event
+	rtoBackoff int
+
+	// ---- receiver state ----
+	rcvNxt         int64
+	rcvWup         int64 // last offset acknowledged to the peer
+	rq             []byte
+	rqStart        int64
+	rcvSegEnds     []int64
+	rcvMsgEnds     []int64
+	ackPendingSegs int64
+	ackPendingMsgs int64
+	delackEv       *sim.Event
+	ackScheduled   bool
+	lastAdvWnd     int64
+	rxQueue        []*segment // GRO accumulation
+	rxScheduled    bool
+	needDupAck     bool // force the next scheduled ACK out (loss resync)
+
+	// ---- instrumentation & exchange ----
+	instr           Instrumentation
+	lastExchange    sim.Time
+	exchangedOnce   bool
+	exchangeForced  bool
+	peerState       qstate.WireState
+	peerStateAt     sim.Time
+	peerStateValid  bool
+	onPeerState     func(qstate.WireState)
+	onReadable      func()
+	readablePending bool
+
+	stats Stats
+}
+
+// Connect establishes a connection between two host stacks over link,
+// returning the endpoint on a (transmitting via link.AtoB) and the endpoint
+// on b. Both endpoints share cfg; Nagle can be toggled per endpoint at
+// runtime.
+func Connect(a, b *Stack, link *netem.Link, cfg Config) (*Conn, *Conn) {
+	if a.Sim != b.Sim {
+		panic("tcpsim: endpoints must share a simulator")
+	}
+	if cfg.MSS <= 0 || cfg.TSOMaxBytes < cfg.MSS || cfg.RecvBuf <= 0 || cfg.DelAckSegs <= 0 {
+		panic(fmt.Sprintf("tcpsim: invalid config %+v", cfg))
+	}
+	now := a.Sim.Now()
+	cork := int64(cfg.CorkBytes)
+	if cork <= 0 {
+		cork = int64(cfg.MSS)
+	}
+	ca := &Conn{stack: a, cfg: cfg, tx: link.AtoB, name: a.Name, nodelay: !cfg.Nagle,
+		corkBytes: cork, sndLimit: cfg.RecvBuf, lastAdvWnd: cfg.RecvBuf, lastExchange: now}
+	cb := &Conn{stack: b, cfg: cfg, tx: link.BtoA, name: b.Name, nodelay: !cfg.Nagle,
+		corkBytes: cork, sndLimit: cfg.RecvBuf, lastAdvWnd: cfg.RecvBuf, lastExchange: now}
+	ca.peer, cb.peer = cb, ca
+	ca.instr.init(now)
+	cb.instr.init(now)
+	return ca, cb
+}
+
+// Name returns the host name of this endpoint.
+func (c *Conn) Name() string { return c.name }
+
+// Stack returns the host stack this endpoint runs on.
+func (c *Conn) Stack() *Stack { return c.stack }
+
+// Peer returns the other endpoint.
+func (c *Conn) Peer() *Conn { return c.peer }
+
+// Stats returns a copy of the endpoint's counters.
+func (c *Conn) Stats() Stats { return c.stats }
+
+// Instr exposes the endpoint's queue instrumentation.
+func (c *Conn) Instr() *Instrumentation { return &c.instr }
+
+// SetNoDelay enables (true) or disables (false) TCP_NODELAY — i.e. disables
+// or enables Nagle batching. Disabling Nagle releases any held data
+// immediately; this is the hook the dynamic toggling policy drives.
+func (c *Conn) SetNoDelay(v bool) {
+	if c.nodelay == v {
+		return
+	}
+	c.nodelay = v
+	if v {
+		c.flushHeld()
+	}
+}
+
+// NoDelay reports whether Nagle batching is currently disabled.
+func (c *Conn) NoDelay() bool { return c.nodelay }
+
+// SetCorkBytes adjusts the hold threshold at runtime: while data is in
+// flight, available data below n bytes is held. Values below one MSS clamp
+// to the MSS (classic Nagle); this is the knob an AIMD batch-limit
+// controller drives. Lowering the threshold releases data that no longer
+// qualifies for holding.
+func (c *Conn) SetCorkBytes(n int) {
+	v := int64(n)
+	if v < int64(c.cfg.MSS) {
+		v = int64(c.cfg.MSS)
+	}
+	if v < c.corkBytes {
+		c.corkBytes = v
+		c.pump()
+		return
+	}
+	c.corkBytes = v
+}
+
+// CorkBytes returns the current hold threshold.
+func (c *Conn) CorkBytes() int { return int(c.corkBytes) }
+
+// OnReadable registers fn to be invoked (at most once per quiescent period)
+// when newly delivered data becomes readable. The app must drain with Read
+// and re-check Readable after processing, as with edge-triggered epoll.
+func (c *Conn) OnReadable(fn func()) { c.onReadable = fn }
+
+// OnPeerState registers fn to be invoked whenever a metadata exchange
+// arrives from the peer.
+func (c *Conn) OnPeerState(fn func(qstate.WireState)) { c.onPeerState = fn }
+
+// Send writes data to the connection, as one send(2) invocation. The caller
+// is responsible for charging its own application CPU cost before calling.
+func (c *Conn) Send(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	now := c.stack.Sim.Now()
+	c.wq = append(c.wq, data...)
+	end := c.sndNxt + int64(len(c.wq))
+	c.msgEndsUntx = append(c.msgEndsUntx, end)
+	c.msgEndsUnacked = append(c.msgEndsUnacked, end)
+	c.instr.unacked.track(now, int64(len(data)), 0, 1)
+	c.stats.Sends++
+	c.pump()
+}
+
+// Readable returns the number of delivered, unread bytes.
+func (c *Conn) Readable() int { return len(c.rq) }
+
+// Read consumes up to max bytes from the receive buffer (all of it if max
+// <= 0), returning nil when nothing is readable. As with Send, the caller
+// charges its own app CPU cost.
+func (c *Conn) Read(max int) []byte {
+	n := len(c.rq)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	data := make([]byte, n)
+	copy(data, c.rq[:n])
+	c.rq = c.rq[n:]
+	c.rqStart += int64(n)
+
+	segs := popLE(&c.rcvSegEnds, c.rqStart)
+	msgs := popLE(&c.rcvMsgEnds, c.rqStart)
+	c.instr.unread.track(c.stack.Sim.Now(), -int64(n), -segs, -msgs)
+
+	// Window-update ACK: if reading reopened at least half the receive
+	// buffer relative to the last advertisement, tell the peer.
+	if c.advertiseWnd()-c.lastAdvWnd >= c.cfg.RecvBuf/2 {
+		c.scheduleAck()
+	}
+	return data
+}
+
+// InFlight returns transmitted-but-unACKed bytes.
+func (c *Conn) InFlight() int64 { return c.sndNxt - c.sndUna }
+
+// Unsent returns bytes written but not yet transmitted.
+func (c *Conn) Unsent() int64 { return int64(len(c.wq)) }
+
+// Snapshots captures the three local queue snapshots in the given unit.
+func (c *Conn) Snapshots(u Unit) (unacked, unread, ackdelay qstate.Snapshot) {
+	return c.instr.Snapshots(c.stack.Sim.Now(), u)
+}
+
+// LocalWireState encodes the local queue states for exchange in unit u.
+func (c *Conn) LocalWireState(u Unit) qstate.WireState {
+	return c.instr.WireState(c.stack.Sim.Now(), u)
+}
+
+// PeerWireState returns the most recently received peer metadata, its
+// arrival time, and whether any has arrived.
+func (c *Conn) PeerWireState() (qstate.WireState, sim.Time, bool) {
+	return c.peerState, c.peerStateAt, c.peerStateValid
+}
+
+// RequestExchange forces queue-state metadata onto the next outgoing
+// segment, sending a pure ACK if nothing else is pending — the "on-demand"
+// exchange of §5.
+func (c *Conn) RequestExchange() {
+	c.exchangeForced = true
+	c.scheduleAck()
+}
+
+// Close cancels the endpoint's timers. Data in flight is abandoned.
+func (c *Conn) Close() {
+	c.cancelCork()
+	c.cancelDelack()
+	c.onReadable = nil
+	c.onPeerState = nil
+}
+
+// ---- transmit path ----
+
+func (c *Conn) pump() {
+	for {
+		avail := int64(len(c.wq))
+		if avail == 0 {
+			c.cancelCork()
+			return
+		}
+		mss := int64(c.cfg.MSS)
+
+		// Generalized Nagle (§5 "Better Batching Heuristics"): hold all
+		// available data while peers still owe ACKs and the pile is
+		// below the cork threshold (threshold == MSS is classic Nagle).
+		if !c.nodelay && avail < c.corkBytes && c.InFlight() > 0 {
+			c.stats.NagleHolds++
+			c.armCork()
+			return
+		}
+		// Auto-corking: hold a sub-MSS dribble while the NIC queue has
+		// not drained, even with NODELAY set.
+		if c.cfg.AutoCork && avail < mss && c.tx.QueueDelay() > 0 {
+			c.stats.NagleHolds++
+			c.armCork()
+			return
+		}
+
+		wnd := c.sndLimit - c.sndNxt
+		if wnd <= 0 {
+			c.stats.WindowStalls++
+			return
+		}
+		n := avail
+		if n > wnd {
+			n = wnd
+		}
+		if m := int64(c.cfg.TSOMaxBytes); n > m {
+			n = m
+		}
+		if n < mss && n < avail {
+			// Window-limited below one MSS: wait for a window
+			// update rather than dribbling.
+			c.stats.WindowStalls++
+			return
+		}
+		if n >= mss {
+			n -= n % mss // full segments only; tail handled next loop
+		}
+		c.cancelCork()
+		c.transmit(n)
+	}
+}
+
+// flushHeld transmits everything the window allows, bypassing Nagle and
+// auto-corking — used by the cork timer and by SetNoDelay(true).
+func (c *Conn) flushHeld() {
+	c.cancelCork()
+	for {
+		avail := int64(len(c.wq))
+		if avail == 0 {
+			return
+		}
+		wnd := c.sndLimit - c.sndNxt
+		if wnd <= 0 {
+			c.stats.WindowStalls++
+			return
+		}
+		n := avail
+		if n > wnd {
+			n = wnd
+		}
+		if m := int64(c.cfg.TSOMaxBytes); n > m {
+			n = m
+		}
+		c.transmit(n)
+	}
+}
+
+func (c *Conn) transmit(n int64) {
+	now := c.stack.Sim.Now()
+	payload := make([]byte, n)
+	copy(payload, c.wq[:n])
+	c.wq = c.wq[n:]
+	start := c.sndNxt
+	c.sndNxt += n
+	end := start + n
+
+	mss := int64(c.cfg.MSS)
+	nsegs := int((n + mss - 1) / mss)
+	for k := int64(1); k <= int64(nsegs); k++ {
+		segEnd := start + k*mss
+		if segEnd > end {
+			segEnd = end
+		}
+		c.segEnds = append(c.segEnds, segEnd)
+	}
+
+	var bounds []int64
+	for len(c.msgEndsUntx) > 0 && c.msgEndsUntx[0] <= end {
+		bounds = append(bounds, c.msgEndsUntx[0])
+		c.msgEndsUntx = c.msgEndsUntx[1:]
+	}
+
+	c.instr.unacked.track(now, 0, int64(nsegs), 0)
+	c.stats.Flushes++
+	c.stats.Segments += uint64(nsegs)
+	c.stats.BytesSent += uint64(n)
+	if c.cfg.RTO > 0 {
+		c.rtxBuf = append(c.rtxBuf, payload...)
+		c.armRTO()
+	}
+
+	cost := c.stack.TxCosts.Batch(nsegs, int(n))
+	c.stack.SoftirqCPU.Exec(cost, func() {
+		seg := &segment{payload: payload, start: start, nsegs: nsegs, bounds: bounds}
+		c.finishSegment(seg)
+		wire := len(payload) + nsegs*c.cfg.HeaderBytes
+		c.tx.Send(wire, func() { c.peer.receive(seg) })
+	})
+}
+
+// finishSegment stamps the outgoing segment with the piggybacked ACK,
+// advertised window and (when due) the metadata exchange, and accounts the
+// ACK as sent.
+func (c *Conn) finishSegment(seg *segment) {
+	seg.ack = c.rcvNxt
+	seg.wnd = c.advertiseWnd()
+	c.noteAckSent()
+	if c.exchangeDue() {
+		seg.hasState = true
+		seg.state = c.instr.WireState(c.stack.Sim.Now(), c.cfg.ExchangeUnit)
+		c.lastExchange = c.stack.Sim.Now()
+		c.exchangedOnce = true
+		c.exchangeForced = false
+		c.stats.StatesExchanged++
+	}
+}
+
+func (c *Conn) exchangeDue() bool {
+	if !c.cfg.Exchange {
+		return false
+	}
+	if c.exchangeForced || !c.exchangedOnce {
+		return true
+	}
+	if c.cfg.ExchangeInterval == 0 {
+		return true
+	}
+	return c.stack.Sim.Now().Sub(c.lastExchange) >= c.cfg.ExchangeInterval
+}
+
+func (c *Conn) advertiseWnd() int64 {
+	w := c.cfg.RecvBuf - int64(len(c.rq))
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// noteAckSent records that an acknowledgment covering everything received
+// so far has just gone out (standalone or piggybacked): the ackdelay queue
+// drains, and the delayed-ACK timer disarms.
+func (c *Conn) noteAckSent() {
+	now := c.stack.Sim.Now()
+	pending := c.rcvNxt - c.rcvWup
+	if pending > 0 || c.ackPendingSegs > 0 || c.ackPendingMsgs > 0 {
+		c.instr.ackdelay.track(now, -pending, -c.ackPendingSegs, -c.ackPendingMsgs)
+	}
+	c.rcvWup = c.rcvNxt
+	c.ackPendingSegs = 0
+	c.ackPendingMsgs = 0
+	c.lastAdvWnd = c.advertiseWnd()
+	c.cancelDelack()
+}
+
+// ---- receive path ----
+
+func (c *Conn) receive(seg *segment) {
+	if len(seg.payload) == 0 {
+		c.stack.SoftirqCPU.Exec(c.stack.AckRxCost, func() { c.deliver(seg) })
+		return
+	}
+	if !c.cfg.GRO {
+		cost := c.stack.RxCosts.Batch(seg.nsegs, len(seg.payload))
+		c.stack.SoftirqCPU.Exec(cost, func() { c.deliver(seg) })
+		return
+	}
+	// GRO: park the flush; one poll task drains everything that
+	// accumulated while the softirq context was busy, charging the
+	// per-delivery cost once for the whole batch.
+	c.rxQueue = append(c.rxQueue, seg)
+	if c.rxScheduled {
+		return
+	}
+	c.rxScheduled = true
+	c.stack.SoftirqCPU.Exec(0, c.groPoll)
+}
+
+// groPoll runs when the softirq context reaches the parked work: it takes
+// the entire accumulated batch, charges one merged receive cost, and then
+// delivers the flushes in order.
+func (c *Conn) groPoll() {
+	c.rxScheduled = false
+	batch := c.rxQueue
+	c.rxQueue = nil
+	if len(batch) == 0 {
+		return
+	}
+	segs, bytes := 0, 0
+	for _, seg := range batch {
+		segs += seg.nsegs
+		bytes += len(seg.payload)
+	}
+	c.stats.GROBatches++
+	c.stats.GROMerged += uint64(len(batch) - 1)
+	cost := c.stack.RxCosts.Batch(segs, bytes)
+	c.stack.SoftirqCPU.Exec(cost, func() {
+		for _, seg := range batch {
+			c.deliver(seg)
+		}
+	})
+}
+
+func (c *Conn) deliver(seg *segment) {
+	now := c.stack.Sim.Now()
+	if seg.hasState {
+		c.peerState = seg.state
+		c.peerStateAt = now
+		c.peerStateValid = true
+		if c.onPeerState != nil {
+			c.onPeerState(seg.state)
+		}
+	}
+	c.processAck(seg.ack, seg.wnd)
+
+	if len(seg.payload) == 0 {
+		return
+	}
+	if seg.start != c.rcvNxt {
+		switch {
+		case c.cfg.RTO <= 0:
+			// Without recovery machinery a sequence hole is a model
+			// bug, not a recoverable condition.
+			panic(fmt.Sprintf("tcpsim: out-of-order delivery at %d, expected %d (lossy pipe without Config.RTO?)", seg.start, c.rcvNxt))
+		case seg.start+int64(len(seg.payload)) <= c.rcvNxt:
+			// Pure duplicate (a retransmission raced the ack):
+			// discard, but re-ack so the sender resyncs.
+			c.stats.DupPayloads++
+			c.needDupAck = true
+			c.scheduleAck()
+			return
+		case seg.start < c.rcvNxt:
+			// Overlapping retransmission: accept only the new tail.
+			cut := c.rcvNxt - seg.start
+			seg.payload = seg.payload[cut:]
+			seg.start = c.rcvNxt
+			seg.nsegs = int((int64(len(seg.payload)) + int64(c.cfg.MSS) - 1) / int64(c.cfg.MSS))
+			var kept []int64
+			for _, b := range seg.bounds {
+				if b > c.rcvNxt {
+					kept = append(kept, b)
+				}
+			}
+			seg.bounds = kept
+			c.stats.DupPayloads++
+		default:
+			// Gap: an earlier segment was lost. Go-back-N drops
+			// everything until the retransmission fills the hole.
+			c.stats.DupPayloads++
+			c.needDupAck = true
+			c.scheduleAck()
+			return
+		}
+	}
+	n := int64(len(seg.payload))
+	c.rq = append(c.rq, seg.payload...)
+	c.rcvNxt += n
+
+	mss := int64(c.cfg.MSS)
+	end := seg.start + n
+	for k := int64(1); k <= int64(seg.nsegs); k++ {
+		segEnd := seg.start + k*mss
+		if segEnd > end {
+			segEnd = end
+		}
+		c.rcvSegEnds = append(c.rcvSegEnds, segEnd)
+	}
+	c.rcvMsgEnds = append(c.rcvMsgEnds, seg.bounds...)
+
+	c.instr.unread.track(now, n, int64(seg.nsegs), int64(len(seg.bounds)))
+	c.instr.ackdelay.track(now, n, int64(seg.nsegs), int64(len(seg.bounds)))
+	c.ackPendingSegs += int64(seg.nsegs)
+	c.ackPendingMsgs += int64(len(seg.bounds))
+
+	if int(c.ackPendingSegs) >= c.cfg.DelAckSegs {
+		c.scheduleAck()
+	} else {
+		c.armDelack()
+	}
+	c.notifyReadable()
+}
+
+func (c *Conn) processAck(ack, wnd int64) {
+	if ack > c.sndUna {
+		now := c.stack.Sim.Now()
+		delta := ack - c.sndUna
+		segs := popLE(&c.segEnds, ack)
+		msgs := popLE(&c.msgEndsUnacked, ack)
+		c.instr.unacked.track(now, -delta, -segs, -msgs)
+		c.sndUna = ack
+		if c.cfg.RTO > 0 {
+			c.rtxBuf = c.rtxBuf[delta:]
+			c.rtoBackoff = 0
+			c.cancelRTO()
+			if c.InFlight() > 0 {
+				c.armRTO()
+			}
+		}
+	}
+	if limit := ack + wnd; limit > c.sndLimit {
+		c.sndLimit = limit
+	}
+	c.pump()
+}
+
+// ---- loss recovery (go-back-N) ----
+
+func (c *Conn) armRTO() {
+	if c.rtoEv != nil || c.cfg.RTO <= 0 {
+		return
+	}
+	timeout := c.cfg.RTO << uint(c.rtoBackoff)
+	c.rtoEv = c.stack.Sim.After(timeout, c.rtoFire)
+}
+
+func (c *Conn) cancelRTO() {
+	if c.rtoEv != nil {
+		c.stack.Sim.Cancel(c.rtoEv)
+		c.rtoEv = nil
+	}
+}
+
+// rtoFire retransmits everything unACKed in TSO-sized flushes. Counters are
+// not re-tracked: the bytes never left the unacked queue, so their measured
+// residency naturally includes the recovery delay.
+func (c *Conn) rtoFire() {
+	c.rtoEv = nil
+	if c.InFlight() == 0 {
+		return
+	}
+	c.stats.Retransmits++
+	if c.rtoBackoff < 6 {
+		c.rtoBackoff++
+	}
+	mss := int64(c.cfg.MSS)
+	for off := int64(0); off < int64(len(c.rtxBuf)); {
+		n := int64(len(c.rtxBuf)) - off
+		if m := int64(c.cfg.TSOMaxBytes); n > m {
+			n = m
+		}
+		start := c.sndUna + off
+		end := start + n
+		payload := make([]byte, n)
+		copy(payload, c.rtxBuf[off:off+n])
+		nsegs := int((n + mss - 1) / mss)
+		var bounds []int64
+		for _, b := range c.msgEndsUnacked {
+			if b > start && b <= end {
+				bounds = append(bounds, b)
+			}
+		}
+		c.stack.SoftirqCPU.Exec(c.stack.TxCosts.Batch(nsegs, int(n)), func() {
+			seg := &segment{payload: payload, start: start, nsegs: nsegs, bounds: bounds}
+			c.finishSegment(seg)
+			c.tx.Send(len(payload)+nsegs*c.cfg.HeaderBytes, func() { c.peer.receive(seg) })
+		})
+		off += n
+	}
+	c.armRTO()
+}
+
+// scheduleAck queues a standalone ACK through the softirq CPU. Multiple
+// requests coalesce: while one is scheduled, further requests are no-ops,
+// and the ACK captures the final receive state when it actually goes out.
+func (c *Conn) scheduleAck() {
+	if c.ackScheduled {
+		return
+	}
+	c.ackScheduled = true
+	c.stack.SoftirqCPU.Exec(c.stack.AckTxCost, func() {
+		c.ackScheduled = false
+		needWnd := c.advertiseWnd()-c.lastAdvWnd >= c.cfg.RecvBuf/2
+		if c.rcvNxt == c.rcvWup && !needWnd && !c.exchangeForced && !c.needDupAck {
+			c.stats.AcksSuppressed++
+			return
+		}
+		c.needDupAck = false
+		seg := &segment{}
+		c.finishSegment(seg)
+		c.stats.PureAcks++
+		c.tx.Send(c.cfg.HeaderBytes, func() { c.peer.receive(seg) })
+	})
+}
+
+// ---- timers ----
+
+func (c *Conn) armCork() {
+	if c.corkEv != nil || c.cfg.CorkTimeout <= 0 {
+		return
+	}
+	c.corkEv = c.stack.Sim.After(c.cfg.CorkTimeout, func() {
+		c.corkEv = nil
+		c.stats.CorkTimeouts++
+		c.flushHeld()
+	})
+}
+
+func (c *Conn) cancelCork() {
+	if c.corkEv != nil {
+		c.stack.Sim.Cancel(c.corkEv)
+		c.corkEv = nil
+	}
+}
+
+func (c *Conn) armDelack() {
+	if c.delackEv != nil || c.cfg.DelAckTimeout <= 0 {
+		return
+	}
+	c.delackEv = c.stack.Sim.After(c.cfg.DelAckTimeout, func() {
+		c.delackEv = nil
+		c.stats.DelAckTimeouts++
+		c.scheduleAck()
+	})
+}
+
+func (c *Conn) cancelDelack() {
+	if c.delackEv != nil {
+		c.stack.Sim.Cancel(c.delackEv)
+		c.delackEv = nil
+	}
+}
+
+func (c *Conn) notifyReadable() {
+	if c.onReadable == nil || c.readablePending {
+		return
+	}
+	c.readablePending = true
+	c.stack.Sim.After(0, func() {
+		c.readablePending = false
+		if c.onReadable != nil {
+			c.onReadable()
+		}
+	})
+}
+
+// popLE removes leading elements of *s that are <= limit and returns how
+// many were removed. The slice must be ascending.
+func popLE(s *[]int64, limit int64) int64 {
+	i := 0
+	for i < len(*s) && (*s)[i] <= limit {
+		i++
+	}
+	*s = (*s)[i:]
+	return int64(i)
+}

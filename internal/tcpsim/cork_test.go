@@ -1,0 +1,78 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"e2ebatch/internal/sim"
+)
+
+func TestCorkBytesDefaultsToMSS(t *testing.T) {
+	_, ca, _ := testNet(t, fastCfg())
+	if ca.CorkBytes() != fastCfg().MSS {
+		t.Fatalf("default cork = %d, want MSS", ca.CorkBytes())
+	}
+}
+
+func TestCorkBytesAboveMSSHoldsFullSegments(t *testing.T) {
+	cfg := fastCfg()
+	cfg.CorkBytes = 8 * cfg.MSS
+	cfg.CorkTimeout = time.Second
+	s, ca, cb := testNet(t, cfg)
+	ca.Send(payload(100)) // nothing in flight: goes out
+	s.RunFor(200 * time.Nanosecond)
+	// 3 MSS of data: below the 8·MSS threshold, held even though it
+	// contains full segments.
+	ca.Send(payload(3 * cfg.MSS))
+	s.RunFor(500 * time.Nanosecond)
+	if ca.InFlight() != 100 {
+		t.Fatalf("in flight = %d, want only the first 100 bytes", ca.InFlight())
+	}
+	// The ack releases it.
+	s.RunUntil(sim.Time(5 * time.Millisecond))
+	if cb.Readable() != 100+3*cfg.MSS {
+		t.Fatalf("readable = %d", cb.Readable())
+	}
+}
+
+func TestSetCorkBytesLoweringReleases(t *testing.T) {
+	cfg := fastCfg()
+	cfg.CorkBytes = 32 * cfg.MSS
+	cfg.CorkTimeout = time.Hour
+	cfg.DelAckTimeout = time.Hour
+	cfg.DelAckSegs = 1000
+	s, ca, cb := testNet(t, cfg)
+	ca.Send(payload(100))
+	s.RunFor(time.Microsecond)
+	ca.Send(payload(4 * cfg.MSS)) // held: below 32·MSS, acks disabled
+	s.RunFor(10 * time.Microsecond)
+	if cb.Readable() != 100 {
+		t.Fatalf("readable = %d, want 100 (rest held)", cb.Readable())
+	}
+	ca.SetCorkBytes(cfg.MSS) // classic Nagle: 4 full MSS qualify now
+	s.RunFor(10 * time.Microsecond)
+	if cb.Readable() != 100+4*cfg.MSS {
+		t.Fatalf("readable = %d after lowering cork", cb.Readable())
+	}
+}
+
+func TestSetCorkBytesClampsToMSS(t *testing.T) {
+	_, ca, _ := testNet(t, fastCfg())
+	ca.SetCorkBytes(1)
+	if ca.CorkBytes() != fastCfg().MSS {
+		t.Fatalf("cork = %d, want clamped to MSS", ca.CorkBytes())
+	}
+}
+
+func TestNoDelayOverridesCorkBytes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Nagle = false
+	cfg.CorkBytes = 64 << 10
+	s, ca, cb := testNet(t, cfg)
+	ca.Send(payload(100))
+	ca.Send(payload(100))
+	s.RunUntil(sim.Time(100 * time.Microsecond))
+	if cb.Readable() != 200 {
+		t.Fatalf("readable = %d: NODELAY must bypass corking", cb.Readable())
+	}
+}

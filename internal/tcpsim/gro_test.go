@@ -1,0 +1,123 @@
+package tcpsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/cpumodel"
+	"e2ebatch/internal/netem"
+	"e2ebatch/internal/sim"
+)
+
+// groNet builds a topology with a nonzero receive cost so GRO has backlog
+// to batch against.
+func groNet(t *testing.T, gro bool) (*sim.Sim, *Conn, *Conn) {
+	t.Helper()
+	s := sim.New(4)
+	a := NewStack(s, "a")
+	b := NewStack(s, "b")
+	a.TxCosts, a.RxCosts = cpumodel.Costs{}, cpumodel.Costs{}
+	b.TxCosts = cpumodel.Costs{}
+	b.RxCosts = cpumodel.Costs{PerBatch: 20 * time.Microsecond}
+	b.AckTxCost, b.AckRxCost = 0, 0
+	a.AckTxCost, a.AckRxCost = 0, 0
+	link := netem.NewLink(s, "lnk", netem.Config{Propagation: time.Microsecond})
+	cfg := DefaultConfig()
+	cfg.Nagle = false
+	cfg.GRO = gro
+	ca, cb := Connect(a, b, link, cfg)
+	return s, ca, cb
+}
+
+func TestGROMergesBackloggedDeliveries(t *testing.T) {
+	s, ca, cb := groNet(t, true)
+	// Ten sends arrive while the receiver is busy with the first 20µs
+	// batch cost; they must merge.
+	for i := 0; i < 10; i++ {
+		ca.Send(payload(1000))
+	}
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+	if cb.Readable() != 10000 {
+		t.Fatalf("readable = %d", cb.Readable())
+	}
+	st := cb.Stats()
+	if st.GROBatches == 0 {
+		t.Fatal("no GRO batches recorded")
+	}
+	if st.GROMerged == 0 {
+		t.Fatal("nothing merged despite backlog")
+	}
+	if st.GROBatches >= 10 {
+		t.Fatalf("batches = %d for 10 flushes; no amortization", st.GROBatches)
+	}
+}
+
+func TestGROPreservesStreamOrder(t *testing.T) {
+	s, ca, cb := groNet(t, true)
+	var want bytes.Buffer
+	for i := 0; i < 50; i++ {
+		chunk := payload(100 + i*37)
+		want.Write(chunk)
+		ca.Send(chunk)
+		s.RunFor(5 * time.Microsecond)
+	}
+	s.RunUntil(sim.Time(100 * time.Millisecond))
+	got := cb.Read(0)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("stream corrupted under GRO: %d vs %d bytes", len(got), want.Len())
+	}
+}
+
+func TestGROReducesSoftirqBusyTime(t *testing.T) {
+	run := func(gro bool) time.Duration {
+		s, ca, cb := groNet(t, gro)
+		cb.OnReadable(func() { cb.Read(0) })
+		for i := 0; i < 100; i++ {
+			ca.Send(payload(2000))
+			s.RunFor(2 * time.Microsecond) // faster than the 20µs rx cost
+		}
+		s.RunUntil(sim.Time(100 * time.Millisecond))
+		return cb.Stack().SoftirqCPU.BusyTime()
+	}
+	with, without := run(true), run(false)
+	if with >= without/2 {
+		t.Fatalf("GRO busy %v vs non-GRO %v: expected >=2x amortization", with, without)
+	}
+}
+
+func TestGROOffIsExactLegacyPath(t *testing.T) {
+	s, ca, cb := groNet(t, false)
+	for i := 0; i < 5; i++ {
+		ca.Send(payload(500))
+	}
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+	st := cb.Stats()
+	if st.GROBatches != 0 || st.GROMerged != 0 {
+		t.Fatalf("GRO counters active while disabled: %+v", st)
+	}
+	if cb.Readable() != 2500 {
+		t.Fatalf("readable = %d", cb.Readable())
+	}
+}
+
+func TestGROQueueAccountingBalanced(t *testing.T) {
+	s, ca, cb := groNet(t, true)
+	cb.OnReadable(func() { cb.Read(0) })
+	for i := 0; i < 60; i++ {
+		ca.Send(payload(3000))
+		s.RunFor(3 * time.Microsecond)
+	}
+	s.RunUntil(sim.Time(200 * time.Millisecond))
+	for u := 0; u < NumUnits; u++ {
+		if ua, _, _ := ca.Instr().Sizes(Unit(u)); ua != 0 {
+			t.Fatalf("unacked[%v] = %d", Unit(u), ua)
+		}
+		if _, ur, _ := cb.Instr().Sizes(Unit(u)); ur != 0 {
+			t.Fatalf("unread[%v] = %d", Unit(u), ur)
+		}
+		if _, _, ad := cb.Instr().Sizes(Unit(u)); ad != 0 {
+			t.Fatalf("ackdelay[%v] = %d", Unit(u), ad)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/kv"
+	"e2ebatch/internal/loadgen"
+	"e2ebatch/internal/netem"
+	"e2ebatch/internal/sim"
+	"e2ebatch/internal/tcpsim"
+)
+
+// runTraced runs a short SET workload with a collector attached.
+func runTraced(t testing.TB, rate float64) (*Log, *loadgen.Result) {
+	t.Helper()
+	s := sim.New(9)
+	cs := tcpsim.NewStack(s, "client")
+	ss := tcpsim.NewStack(s, "server")
+	link := netem.NewLink(s, "lnk", netem.Config{BitsPerSec: 100_000_000_000, Propagation: 2 * time.Microsecond})
+	cfg := tcpsim.DefaultConfig()
+	cfg.Nagle = false
+	cc, sc := tcpsim.Connect(cs, ss, link, cfg)
+	store := kv.NewStore(func() time.Duration { return s.Now().Duration() })
+	kv.NewSimServer(kv.NewEngine(store), sc, kv.DefaultSimServerConfig())
+
+	col := NewCollector(s, cc, sc, time.Millisecond)
+	g := loadgen.New(s, cc, loadgen.DefaultConfig(rate, 100*time.Millisecond), loadgen.SetWorkload(16, 4096))
+	res := g.Run()
+	col.Stop()
+	return col.Log(), res
+}
+
+func TestCollectorSamplesAtInterval(t *testing.T) {
+	log, _ := runTraced(t, 10000)
+	// ~100ms run at 1ms sampling plus drain time.
+	if len(log.Records) < 90 {
+		t.Fatalf("records = %d, want ~100", len(log.Records))
+	}
+	for i := 1; i < len(log.Records); i++ {
+		if log.Records[i].At <= log.Records[i-1].At {
+			t.Fatal("records not strictly ordered")
+		}
+	}
+}
+
+func TestOverallEstimateTracksMeasured(t *testing.T) {
+	log, res := runTraced(t, 10000)
+	est := log.Overall(tcpsim.UnitBytes)
+	if !est.Valid {
+		t.Fatal("overall estimate invalid")
+	}
+	meas := float64(res.Latency.Mean())
+	got := float64(est.Latency)
+	// The homogeneous fixed-size workload is exactly the case the paper
+	// says byte-based estimates handle well; demand factor-of-2 band here
+	// (tight accuracy asserted in the figures harness with warmup
+	// trimming).
+	if got < meas*0.4 || got > meas*2.5 {
+		t.Fatalf("estimate %v vs measured %v", est.Latency, res.Latency.Mean())
+	}
+}
+
+func TestAnalyzeProducesIntervals(t *testing.T) {
+	log, _ := runTraced(t, 10000)
+	pts := log.Analyze(tcpsim.UnitBytes)
+	if len(pts) != len(log.Records)-1 {
+		t.Fatalf("points = %d, want %d", len(pts), len(log.Records)-1)
+	}
+	valid := 0
+	for _, p := range pts {
+		if p.To <= p.From {
+			t.Fatal("interval not ordered")
+		}
+		if p.Estimate.Valid {
+			valid++
+		}
+	}
+	if valid < len(pts)/2 {
+		t.Fatalf("only %d/%d intervals valid", valid, len(pts))
+	}
+}
+
+func TestAnalyzeEmptyLogs(t *testing.T) {
+	var l Log
+	if pts := l.Analyze(tcpsim.UnitBytes); pts != nil {
+		t.Fatal("empty log produced points")
+	}
+	if est := l.Overall(tcpsim.UnitBytes); est.Valid {
+		t.Fatal("empty log produced estimate")
+	}
+}
+
+func TestLogSerializationRoundTrip(t *testing.T) {
+	log, _ := runTraced(t, 5000)
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(log.Records) {
+		t.Fatalf("records %d vs %d", len(got.Records), len(log.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != log.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	// Analysis of the reread log matches exactly.
+	a := log.Overall(tcpsim.UnitBytes)
+	b := got.Overall(tcpsim.UnitBytes)
+	if a != b {
+		t.Fatalf("analysis differs after round trip: %+v vs %+v", a, b)
+	}
+}
+
+func TestReadLogRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"client 0 unacked 1 2 3\n",          // sample before rec
+		"rec 5\nclient 9 unacked 1 2 3\n",   // bad unit
+		"rec 5\nmartian 0 unacked 1 2 3\n",  // bad side
+		"rec 5\nclient 0 mystery 1 2 3\n",   // bad queue
+		"rec 5\nclient 0 unacked not num\n", // malformed numbers
+	} {
+		if _, err := ReadLog(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadLogEmptyAndBlankLines(t *testing.T) {
+	got, err := ReadLog(strings.NewReader("\n\n"))
+	if err != nil || len(got.Records) != 0 {
+		t.Fatalf("blank log: %v, %d records", err, len(got.Records))
+	}
+}

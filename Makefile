@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race clean
+
+# tier1 is the CI gate: vet, build, the full suite, and the race detector
+# over the short-mode suite (full sweeps are skipped under -short so the
+# ~10x race overhead stays affordable; the determinism, invariant, fuzz-seed
+# and stress tests all still run).
+tier1: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -short -race ./...
+
+clean:
+	$(GO) clean ./...

@@ -5,14 +5,20 @@
 //
 //	e2efig -fig all                 # everything (EXPERIMENTS.md content)
 //	e2efig -fig 4a -dur 400ms       # one figure, longer runs
+//	e2efig -fig 4a -parallel 1      # force serial execution of the sweep
 //	e2efig -fig 4a -trace out.log   # also dump the raw ethtool-style log
 //	e2efig -analyze out.log         # offline analysis of a dumped log
+//
+// Sweeps fan their runs across -parallel worker goroutines (default:
+// GOMAXPROCS). Each run draws from its own seeded RNG, so results are
+// byte-identical regardless of the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -31,8 +37,15 @@ func main() {
 		traceOut = flag.String("trace", "", "dump a raw counter log for one 35 kRPS batching-off run to this file")
 		analyze  = flag.String("analyze", "", "offline-analyze a counter log dumped with -trace and exit")
 		batch    = flag.Int("syscall-batch", 4, "requests per send(2) in the hints experiment")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep runs (results are identical for any value)")
 	)
 	flag.Parse()
+
+	if *par < 1 {
+		fmt.Fprintf(os.Stderr, "e2efig: -parallel must be >= 1 (got %d)\n", *par)
+		os.Exit(2)
+	}
+	figures.SetParallelism(*par)
 
 	if *analyze != "" {
 		if err := analyzeLog(*analyze); err != nil {

@@ -1,0 +1,40 @@
+package core
+
+import "sync"
+
+// SharedEstimator is the concurrency-safe variant of Estimator: the same
+// previous/current sample path behind a mutex, for deployments where the
+// samples arrive from a different goroutine than the one reading estimates —
+// e.g. one estimator per connection updated by a per-connection reader while
+// a central controller polls. The plain Estimator stays lock-free for
+// single-goroutine tick loops such as the simulator's.
+//
+// The zero value is ready to use.
+type SharedEstimator struct {
+	mu  sync.Mutex
+	est Estimator
+}
+
+// Update folds in a new sample and returns the estimate for the interval
+// since the previous one, exactly like Estimator.Update. Concurrent callers
+// serialize: each sees a consistent (prev, current) pair, so every returned
+// interval is well-formed even under contention.
+func (e *SharedEstimator) Update(s Sample) Estimate {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.est.Update(s)
+}
+
+// Reset discards the priming state.
+func (e *SharedEstimator) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.est.Reset()
+}
+
+// Estimates returns how many valid estimates have been produced.
+func (e *SharedEstimator) Estimates() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.est.Estimates()
+}

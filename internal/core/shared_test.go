@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"e2ebatch/internal/qstate"
+)
+
+// sampleAt builds a sample whose unacked queue departed one item per µs up
+// to time t (µs), so successive samples always yield valid estimates.
+func sampleAt(tUS int64) Sample {
+	return Sample{Local: Queues{
+		Unacked: qstate.Snapshot{Time: qstate.Time(tUS * 1000), Total: tUS, Integral: tUS * 500},
+	}}
+}
+
+// TestSharedEstimatorMatchesPlain: fed the same sample stream from one
+// goroutine, the shared and plain estimators are indistinguishable.
+func TestSharedEstimatorMatchesPlain(t *testing.T) {
+	var plain Estimator
+	var shared SharedEstimator
+	for i := int64(1); i <= 50; i++ {
+		a := plain.Update(sampleAt(i * 100))
+		b := shared.Update(sampleAt(i * 100))
+		if a != b {
+			t.Fatalf("step %d: %+v vs %+v", i, a, b)
+		}
+	}
+	if plain.Estimates() != shared.Estimates() {
+		t.Fatalf("estimate counts diverge: %d vs %d", plain.Estimates(), shared.Estimates())
+	}
+	shared.Reset()
+	if got := shared.Update(sampleAt(10_000)); got.Valid {
+		t.Fatal("first post-Reset update should prime, not estimate")
+	}
+}
+
+// TestSharedEstimatorConcurrentUpdate is the race-stress test: concurrent
+// updaters must never corrupt the (prev, current) pair — every valid
+// estimate corresponds to a well-formed interval, and the valid-estimate
+// counter accounts for at most one estimate per non-priming call.
+func TestSharedEstimatorConcurrentUpdate(t *testing.T) {
+	const (
+		workers = 8
+		updates = 2000
+	)
+	var shared SharedEstimator
+	var mu sync.Mutex
+	tick := int64(0)
+	nextSample := func() Sample {
+		mu.Lock()
+		defer mu.Unlock()
+		tick++
+		return sampleAt(tick * 100)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < updates; i++ {
+				e := shared.Update(nextSample())
+				if e.Valid && (e.Latency < 0 || e.Throughput < 0) {
+					panic("negative estimate from a valid interval")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := uint64(workers * updates)
+	got := shared.Estimates()
+	if got == 0 || got >= total {
+		t.Fatalf("valid estimates = %d of %d updates, want within (0, total)", got, total)
+	}
+}

@@ -26,12 +26,16 @@ type TickAblationOut struct {
 // TickAblation runs the toggling-granularity sweep.
 func TickAblation(cal Calib, rate float64, intervals []time.Duration, dur time.Duration, seed int64) *TickAblationOut {
 	out := &TickAblationOut{Rate: rate}
-	r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: true})
-	out.StaticOn = r.Res.Latency.Mean()
+	specs := []RunSpec{{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: true}}
 	for _, iv := range intervals {
 		d := DefaultDynamicSpec(cal.SLO)
 		d.Interval = iv
-		rr := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: d})
+		specs = append(specs, RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: d})
+	}
+	outs := runAll(specs)
+	out.StaticOn = outs[0].Res.Latency.Mean()
+	for i, iv := range intervals {
+		rr := outs[i+1]
 		out.Rows = append(out.Rows, TickRow{
 			Interval: iv,
 			Dynamic:  rr.Res.Latency.Mean(),
@@ -74,8 +78,9 @@ type ExchangeAblationOut struct {
 // estimator sampling every 5 ms.
 func ExchangeAblation(cal Calib, rate float64, intervals []time.Duration, dur time.Duration, seed int64) *ExchangeAblationOut {
 	out := &ExchangeAblationOut{Rate: rate}
+	var specs []RunSpec
 	for _, iv := range intervals {
-		r := Run(RunSpec{
+		specs = append(specs, RunSpec{
 			Calib:               cal,
 			Seed:                seed,
 			Rate:                rate,
@@ -84,8 +89,10 @@ func ExchangeAblation(cal Calib, rate float64, intervals []time.Duration, dur ti
 			ExchangeInterval:    iv,
 			OnlineEstimateEvery: 5 * time.Millisecond,
 		})
+	}
+	for i, r := range runAll(specs) {
 		out.Rows = append(out.Rows, ExchangeRow{
-			Interval:  iv,
+			Interval:  intervals[i],
 			Exchanges: r.ClientConn.StatesExchanged + r.ServerConn.StatesExchanged,
 			Measured:  r.Res.Latency.Mean(),
 			OnlineAvg: r.OnlineAvg,
@@ -128,25 +135,24 @@ type GROAblationOut struct {
 // GROAblation runs the four-cell comparison at each rate.
 func GROAblation(cal Calib, rates []float64, dur time.Duration, seed int64) *GROAblationOut {
 	out := &GROAblationOut{}
+	var specs []RunSpec
 	for _, rate := range rates {
-		row := GRORow{Rate: rate}
 		for _, on := range []bool{false, true} {
 			for _, gro := range []bool{false, true} {
-				r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on, GRO: gro})
-				m := r.Res.Latency.Mean()
-				switch {
-				case !on && !gro:
-					row.OffNoGRO = m
-				case !on && gro:
-					row.OffGRO = m
-				case on && !gro:
-					row.OnNoGRO = m
-				default:
-					row.OnGRO = m
-				}
+				specs = append(specs, RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on, GRO: gro})
 			}
 		}
-		out.Rows = append(out.Rows, row)
+	}
+	outs := runAll(specs)
+	for ri, rate := range rates {
+		cells := outs[4*ri : 4*ri+4]
+		out.Rows = append(out.Rows, GRORow{
+			Rate:     rate,
+			OffNoGRO: cells[0].Res.Latency.Mean(),
+			OffGRO:   cells[1].Res.Latency.Mean(),
+			OnNoGRO:  cells[2].Res.Latency.Mean(),
+			OnGRO:    cells[3].Res.Latency.Mean(),
+		})
 	}
 	return out
 }
@@ -183,10 +189,13 @@ type LossOut struct {
 // LossRobustness runs the sweep at a moderate load.
 func LossRobustness(cal Calib, rate float64, losses []float64, dur time.Duration, seed int64) *LossOut {
 	out := &LossOut{Rate: rate}
+	var specs []RunSpec
 	for _, loss := range losses {
-		r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, LossProb: loss})
+		specs = append(specs, RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, LossProb: loss})
+	}
+	for i, r := range runAll(specs) {
 		row := LossRow{
-			Loss:        loss,
+			Loss:        losses[i],
 			Measured:    r.Res.Latency.Mean(),
 			Retransmits: r.ClientConn.Retransmits + r.ServerConn.Retransmits,
 			Dropped:     r.Res.Dropped,

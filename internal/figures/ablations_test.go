@@ -10,6 +10,7 @@ import (
 // metadata-exchange frequency does not hurt estimate accuracy: the online
 // estimate stays put while the exchange count drops by orders of magnitude.
 func TestExchangeFrequencyInvariance(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	ivs := []time.Duration{0, time.Millisecond, 50 * time.Millisecond}
 	out := ExchangeAblation(cal, 35000, ivs, 300*time.Millisecond, 7)
@@ -39,6 +40,7 @@ func TestExchangeFrequencyInvariance(t *testing.T) {
 // finer decision ticks track the winning mode at a load where the losing
 // mode collapses, while very coarse ticks react too slowly within the run.
 func TestTickGranularityTradeoff(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	ivs := []time.Duration{200 * time.Microsecond, 20 * time.Millisecond}
 	out := TickAblation(cal, 50000, ivs, 500*time.Millisecond, 7)
@@ -66,6 +68,7 @@ func TestTickGranularityTradeoff(t *testing.T) {
 // starts in the collapsing mode, and by the final quarter of the run its
 // windows sit within 2x of static batch-on.
 func TestTimelineConvergence(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := Timeline(cal, 50000, 400*time.Millisecond, 7)
 	if len(out.Dynamic) < 10 {
@@ -96,6 +99,7 @@ func TestTimelineConvergence(t *testing.T) {
 // Nagle's low-load hold penalty. See EXPERIMENTS.md for the calibration
 // caveat this implies.
 func TestGROAblation(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := GROAblation(cal, []float64{40000, 55000}, 300*time.Millisecond, 7)
 	for _, r := range out.Rows {
@@ -121,6 +125,7 @@ func TestGROAblation(t *testing.T) {
 // helps the fast client, hurts once the client is slow enough, and the
 // flip is monotone-ish along the sweep.
 func TestCScanFlip(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	// Sweep only up to 2x: beyond that the slow client itself saturates
 	// under batching-off and batching flips back to helpful (it cuts the
@@ -150,6 +155,7 @@ func TestCScanFlip(t *testing.T) {
 // catastrophic scores observed during overload excursions make it re-probe
 // the losing mode far more than decaying ε-greedy does.
 func TestPolicyComparison(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := PolicyCompare(cal, []float64{45000}, 500*time.Millisecond, 7)
 	r := out.Rows[0]
@@ -199,6 +205,7 @@ func TestLossRobustness(t *testing.T) {
 // TestReplicatedFig4a: across independent seeds, the low-load and high-load
 // outcomes must be statistically separable in the expected directions.
 func TestReplicatedFig4a(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := ReplicatedFig4a(cal, []float64{5000, 60000}, 200*time.Millisecond, []int64{3, 19, 101})
 	low, high := out.Points[0], out.Points[1]

@@ -29,10 +29,10 @@ type CScanOut struct {
 // CScan runs the sweep.
 func CScan(cal Calib, scales []float64, dur time.Duration, seed int64) *CScanOut {
 	out := &CScanOut{Rate: cal.Fig2Rate}
+	var specs []RunSpec
 	for _, scale := range scales {
-		row := CScanRow{Scale: scale}
 		for _, on := range []bool{false, true} {
-			r := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Calib:       cal,
 				Seed:        seed,
 				Rate:        cal.Fig2Rate,
@@ -40,11 +40,14 @@ func CScan(cal Calib, scales []float64, dur time.Duration, seed int64) *CScanOut
 				BatchOn:     on,
 				ClientScale: scale,
 			})
-			if on {
-				row.LatOn = r.Res.Latency.Mean()
-			} else {
-				row.LatOff = r.Res.Latency.Mean()
-			}
+		}
+	}
+	outs := runAll(specs)
+	for si, scale := range scales {
+		row := CScanRow{
+			Scale:  scale,
+			LatOff: outs[2*si].Res.Latency.Mean(),
+			LatOn:  outs[2*si+1].Res.Latency.Mean(),
 		}
 		row.NagleHelps = row.LatOn < row.LatOff
 		if !row.NagleHelps && out.FlipScale == 0 {

@@ -33,28 +33,27 @@ type ToggleOut struct {
 // static baselines for reference.
 func Toggle(cal Calib, rates []float64, dur time.Duration, seed int64) *ToggleOut {
 	out := &ToggleOut{SLO: cal.SLO}
+	var specs []RunSpec
 	for _, rate := range rates {
-		p := TogglePoint{Rate: rate}
-		for _, on := range []bool{false, true} {
-			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on})
-			if on {
-				p.On = r.Res.Latency.Mean()
-			} else {
-				p.Off = r.Res.Latency.Mean()
-			}
+		specs = append(specs,
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur},
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: true},
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: DefaultDynamicSpec(cal.SLO)},
+		)
+	}
+	outs := runAll(specs)
+	for ri, rate := range rates {
+		off, on, dyn := outs[3*ri], outs[3*ri+1], outs[3*ri+2]
+		p := TogglePoint{
+			Rate:         rate,
+			Off:          off.Res.Latency.Mean(),
+			On:           on.Res.Latency.Mean(),
+			Dynamic:      dyn.Res.Latency.Mean(),
+			FinalMode:    dyn.FinalMode,
+			OnShare:      dyn.OnShare,
+			Switches:     dyn.TogglerStats.Switches,
+			Explorations: dyn.TogglerStats.Explorations,
 		}
-		r := Run(RunSpec{
-			Calib:    cal,
-			Seed:     seed,
-			Rate:     rate,
-			Duration: dur,
-			Dynamic:  DefaultDynamicSpec(cal.SLO),
-		})
-		p.Dynamic = r.Res.Latency.Mean()
-		p.FinalMode = r.FinalMode
-		p.OnShare = r.OnShare
-		p.Switches = r.TogglerStats.Switches
-		p.Explorations = r.TogglerStats.Explorations
 		out.Points = append(out.Points, p)
 	}
 	return out
@@ -104,6 +103,12 @@ type HintsOut struct {
 // Hints runs the mixed workload with hints attached at the given rates.
 func Hints(cal Calib, rates []float64, dur time.Duration, seed int64, syscallBatch int) *HintsOut {
 	out := &HintsOut{SyscallBatch: syscallBatch}
+	var specs []RunSpec
+	type key struct {
+		rate float64
+		on   bool
+	}
+	var keys []key
 	for _, rate := range rates {
 		for _, on := range []bool{false, true} {
 			spec := RunSpec{
@@ -117,18 +122,21 @@ func Hints(cal Calib, rates []float64, dur time.Duration, seed int64, syscallBat
 				WithHints:   true,
 			}
 			spec.SyscallBatch = syscallBatch
-			r := Run(spec)
-			row := HintsRow{Rate: rate, BatchOn: on, Measured: r.Res.Latency.Mean()}
-			for u := 0; u < tcpsim.NumUnits; u++ {
-				if r.Est[u].Valid {
-					row.ByUnit[u] = r.Est[u].Latency
-				}
-			}
-			if r.HintAvgs.Valid {
-				row.Hints = r.HintAvgs.Latency
-			}
-			out.Rows = append(out.Rows, row)
+			specs = append(specs, spec)
+			keys = append(keys, key{rate, on})
 		}
+	}
+	for i, r := range runAll(specs) {
+		row := HintsRow{Rate: keys[i].rate, BatchOn: keys[i].on, Measured: r.Res.Latency.Mean()}
+		for u := 0; u < tcpsim.NumUnits; u++ {
+			if r.Est[u].Valid {
+				row.ByUnit[u] = r.Est[u].Latency
+			}
+		}
+		if r.HintAvgs.Valid {
+			row.Hints = r.HintAvgs.Latency
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	return out
 }
@@ -169,26 +177,24 @@ type AIMDOut struct {
 // AIMD runs the AIMD-controlled variant at the given rates.
 func AIMD(cal Calib, rates []float64, dur time.Duration, seed int64) *AIMDOut {
 	out := &AIMDOut{SLO: cal.SLO}
+	var specs []RunSpec
 	for _, rate := range rates {
-		row := AIMDRow{Rate: rate}
-		for _, on := range []bool{false, true} {
-			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: on})
-			if on {
-				row.On = r.Res.Latency.Mean()
-			} else {
-				row.Off = r.Res.Latency.Mean()
-			}
-		}
-		r := Run(RunSpec{
-			Calib:    cal,
-			Seed:     seed,
-			Rate:     rate,
-			Duration: dur,
-			AIMD:     DefaultAIMDSpec(cal.SLO),
+		specs = append(specs,
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur},
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: true},
+			RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, AIMD: DefaultAIMDSpec(cal.SLO)},
+		)
+	}
+	outs := runAll(specs)
+	for ri, rate := range rates {
+		off, on, ad := outs[3*ri], outs[3*ri+1], outs[3*ri+2]
+		out.Rows = append(out.Rows, AIMDRow{
+			Rate:      rate,
+			Off:       off.Res.Latency.Mean(),
+			On:        on.Res.Latency.Mean(),
+			AIMDMean:  ad.Res.Latency.Mean(),
+			FinalCork: ad.FinalCork,
 		})
-		row.AIMDMean = r.Res.Latency.Mean()
-		row.FinalCork = r.FinalCork
-		out.Rows = append(out.Rows, row)
 	}
 	return out
 }
@@ -223,23 +229,26 @@ type PolicyCompareOut struct {
 // PolicyCompare runs both controllers at each rate.
 func PolicyCompare(cal Calib, rates []float64, dur time.Duration, seed int64) *PolicyCompareOut {
 	out := &PolicyCompareOut{SLO: cal.SLO}
+	var specs []RunSpec
 	for _, rate := range rates {
-		row := PolicyCompareRow{Rate: rate}
 		for _, ucb := range []bool{false, true} {
 			d := DefaultDynamicSpec(cal.SLO)
 			d.UseUCB = ucb
-			r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: d})
-			if ucb {
-				row.UCB = r.Res.Latency.Mean()
-				row.UCBSwitch = r.TogglerStats.Switches
-				row.UCBOnShare = r.OnShare
-			} else {
-				row.EpsGreedy = r.Res.Latency.Mean()
-				row.EpsSwitches = r.TogglerStats.Switches
-				row.EpsOnShare = r.OnShare
-			}
+			specs = append(specs, RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, Dynamic: d})
 		}
-		out.Rows = append(out.Rows, row)
+	}
+	outs := runAll(specs)
+	for ri, rate := range rates {
+		eps, ucb := outs[2*ri], outs[2*ri+1]
+		out.Rows = append(out.Rows, PolicyCompareRow{
+			Rate:        rate,
+			EpsGreedy:   eps.Res.Latency.Mean(),
+			EpsSwitches: eps.TogglerStats.Switches,
+			EpsOnShare:  eps.OnShare,
+			UCB:         ucb.Res.Latency.Mean(),
+			UCBSwitch:   ucb.TogglerStats.Switches,
+			UCBOnShare:  ucb.OnShare,
+		})
 	}
 	return out
 }

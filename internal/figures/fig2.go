@@ -30,12 +30,14 @@ type Fig2Out struct {
 // Fig2 runs the four cells (bare/VM × on/off).
 func Fig2(cal Calib, dur time.Duration, seed int64) *Fig2Out {
 	out := &Fig2Out{Rate: cal.Fig2Rate, Duration: dur}
-	for _, cfgp := range []*Fig2Config{
+	configs := []*Fig2Config{
 		{Name: "bare-metal", Scale: 1},
 		{Name: "vm", Scale: cal.VMScale},
-	} {
+	}
+	var specs []RunSpec
+	for _, cfgp := range configs {
 		for _, on := range []bool{false, true} {
-			r := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Calib:       cal,
 				Seed:        seed,
 				Rate:        cal.Fig2Rate,
@@ -43,14 +45,15 @@ func Fig2(cal Calib, dur time.Duration, seed int64) *Fig2Out {
 				BatchOn:     on,
 				ClientScale: cfgp.Scale,
 			})
-			if on {
-				cfgp.LatOn = r.Res.Latency.Mean()
-			} else {
-				cfgp.LatOff = r.Res.Latency.Mean()
-				cfgp.ClientCPU = r.ClientAppUtil + r.ClientSoftUtil
-				cfgp.ServerCPU = r.ServerAppUtil + r.ServerSoftUtil
-			}
 		}
+	}
+	outs := runAll(specs)
+	for ci, cfgp := range configs {
+		off, on := outs[2*ci], outs[2*ci+1]
+		cfgp.LatOff = off.Res.Latency.Mean()
+		cfgp.ClientCPU = off.ClientAppUtil + off.ClientSoftUtil
+		cfgp.ServerCPU = off.ServerAppUtil + off.ServerSoftUtil
+		cfgp.LatOn = on.Res.Latency.Mean()
 		cfgp.NagleHelps = cfgp.LatOn < cfgp.LatOff
 		if cfgp.Scale == 1 {
 			out.Bare = *cfgp

@@ -84,10 +84,10 @@ func Fig4b(cal Calib, rates []float64, dur time.Duration, seed int64) *Fig4Out {
 
 func fig4(cal Calib, rates []float64, dur time.Duration, seed int64, name string, wl loadgen.RequestMaker, preload bool) *Fig4Out {
 	out := &Fig4Out{Name: name, SLO: cal.SLO}
+	var specs []RunSpec
 	for _, rate := range rates {
-		p := Fig4Point{Rate: rate}
 		for _, on := range []bool{false, true} {
-			r := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Calib:       cal,
 				Seed:        seed,
 				Rate:        rate,
@@ -96,6 +96,13 @@ func fig4(cal Calib, rates []float64, dur time.Duration, seed int64, name string
 				Workload:    wl,
 				PreloadKeys: preload,
 			})
+		}
+	}
+	outs := runAll(specs)
+	for ri, rate := range rates {
+		p := Fig4Point{Rate: rate}
+		for mi, on := range []bool{false, true} {
+			r := outs[2*ri+mi]
 			cell := Fig4Cell{
 				Measured: r.Res.Latency.Mean(),
 				P99:      r.Res.Latency.Quantile(0.99),

@@ -10,6 +10,17 @@ import (
 
 const testDur = 300 * time.Millisecond
 
+// skipIfShort gates the full-sweep tests out of short mode, where the suite
+// runs under -race and each virtual run costs ~10x wall clock. The fast
+// determinism, invariant and stress tests still run and keep the race
+// detector pointed at the concurrent paths.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+}
+
 // TestFig1Matrix asserts the paper's Figure 1 outcome matrix.
 func TestFig1Matrix(t *testing.T) {
 	rows := Fig1()
@@ -32,6 +43,7 @@ func TestFig1Matrix(t *testing.T) {
 // TestFig2Flip asserts the bare-metal/VM outcome flip at the fixed load:
 // same server-side behaviour, opposite best batching mode.
 func TestFig2Flip(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	f := Fig2(cal, testDur, 11)
 	if !f.Bare.NagleHelps {
@@ -79,6 +91,7 @@ func fig4aCached(t *testing.T) *Fig4Out {
 // batching hurts at low load, wins beyond a cutoff, extends the SLO range,
 // and the estimates locate the same cutoff.
 func TestFig4aShape(t *testing.T) {
+	skipIfShort(t)
 	f := fig4aCached(t)
 
 	low := f.Points[0] // 5 kRPS
@@ -134,6 +147,7 @@ func TestFig4aShape(t *testing.T) {
 // TestFig4bRuns asserts the 95:5 mix sweep produces valid estimates, a
 // cutoff, and per-kind splits.
 func TestFig4bRuns(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	f := Fig4b(cal, []float64{5000, 35000, 50000}, testDur, 7)
 	if f.MeasuredCutoff == 0 {
@@ -158,6 +172,7 @@ func TestFig4bRuns(t *testing.T) {
 // whichever static mode wins at each load — the paper's core "what if"
 // turned into a closed loop.
 func TestToggleConvergesToBestStatic(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := Toggle(cal, []float64{10000, 50000}, 500*time.Millisecond, 7)
 	lowP, highP := out.Points[0], out.Points[1]
@@ -201,6 +216,7 @@ func TestToggleConvergesToBestStatic(t *testing.T) {
 // client on the heterogeneous workload, every kernel-side unit drifts while
 // the create/complete hints stay within a few percent of measured.
 func TestHintsBeatKernelUnits(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := Hints(cal, []float64{10000, 30000}, testDur, 7, 4)
 	if len(out.Rows) != 4 {
@@ -227,6 +243,7 @@ func TestHintsBeatKernelUnits(t *testing.T) {
 // low load and grows the cork enough to stay near the batch-on latency at
 // high load.
 func TestAIMDAdaptsCork(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := AIMD(cal, []float64{10000, 60000}, 500*time.Millisecond, 7)
 	low, high := out.Rows[0], out.Rows[1]
@@ -287,6 +304,7 @@ func TestDynamicRunProducesOnlineEstimates(t *testing.T) {
 // TestTailLatencyExtension checks the p99 view: tails sit above means, and
 // a p99 crossover exists in the same region as the mean crossover.
 func TestTailLatencyExtension(t *testing.T) {
+	skipIfShort(t)
 	f := fig4aCached(t)
 	for _, p := range f.Points {
 		if p.Off.P99 < p.Off.Measured || p.On.P99 < p.On.Measured {

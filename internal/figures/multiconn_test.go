@@ -13,6 +13,7 @@ import (
 // aggregate tracks the pooled measured latency under load, and one
 // aggregate-driven decision applied to all connections rescues the SLO.
 func TestMultiConnAggregation(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	out := MultiConn(cal, 4, 50000, 300*time.Millisecond, 7)
 	if len(out.PerConn) != 4 {

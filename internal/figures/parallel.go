@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The figure sweeps are embarrassingly parallel: every Run builds its own
+// simulator, stacks, store and load generator from the spec, and the spec
+// itself (calibration tables, workload closures) is immutable once built.
+// RunMany exploits that by fanning the specs across a worker pool while
+// keeping the output order-stable — result i is always spec i's — so a
+// parallel sweep is byte-identical to a serial one. Determinism comes from
+// per-run seeding (each run's RNG is derived from its own spec.Seed, never
+// shared across runs), not from execution order.
+
+// parallelism is the worker count the sweep helpers use, defaulting to
+// GOMAXPROCS. It is read atomically so tests and cmd/e2efig's -parallel
+// flag can adjust it without racing concurrent sweeps.
+var parallelism atomic.Int32
+
+// SetParallelism sets how many runs the sweep functions execute
+// concurrently. n <= 0 restores the default (GOMAXPROCS); n == 1 forces
+// serial execution. It returns the previous setting.
+func SetParallelism(n int) int {
+	return int(parallelism.Swap(int32(n)))
+}
+
+// Parallelism returns the current worker count for sweeps.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunMany executes every spec and returns the outputs in spec order,
+// fanning the runs across up to workers goroutines (workers <= 0 means
+// GOMAXPROCS). The results are identical to calling Run serially: runs
+// share no mutable state, so only the wall-clock time depends on workers.
+func RunMany(specs []RunSpec, workers int) []*RunOut {
+	out := make([]*RunOut, len(specs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			out[i] = Run(specs[i])
+		}
+		return out
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// A panicking run (a simulator invariant violation) must not crash the
+	// process from a bare goroutine: capture the first one and re-raise it
+	// on the caller's goroutine, where tests and main can handle it.
+	var panicked atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Sprintf("figures: run %d panicked: %v", i, r))
+						}
+					}()
+					out[i] = Run(specs[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+	return out
+}
+
+// runAll is the sweep-internal shorthand: RunMany at the configured
+// parallelism.
+func runAll(specs []RunSpec) []*RunOut {
+	return RunMany(specs, Parallelism())
+}

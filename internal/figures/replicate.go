@@ -48,18 +48,23 @@ func ReplicatedFig4a(cal Calib, rates []float64, dur time.Duration, seeds []int6
 		panic("figures: need at least one seed")
 	}
 	out := &RepOut{Seeds: seeds, SLO: cal.SLO}
+	var specs []RunSpec
+	for _, rate := range rates {
+		for _, seed := range seeds {
+			for _, mode := range []bool{false, true} {
+				specs = append(specs, RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: mode})
+			}
+		}
+	}
+	outs := runAll(specs)
+	i := 0
 	for _, rate := range rates {
 		p := RepPoint{Rate: rate}
 		var off, on []time.Duration
-		for _, seed := range seeds {
-			for _, mode := range []bool{false, true} {
-				r := Run(RunSpec{Calib: cal, Seed: seed, Rate: rate, Duration: dur, BatchOn: mode})
-				if mode {
-					on = append(on, r.Res.Latency.Mean())
-				} else {
-					off = append(off, r.Res.Latency.Mean())
-				}
-			}
+		for range seeds {
+			off = append(off, outs[i].Res.Latency.Mean())
+			on = append(on, outs[i+1].Res.Latency.Mean())
+			i += 2
 		}
 		p.Off, p.On = repCell(off), repCell(on)
 		out.Points = append(out.Points, p)

@@ -36,6 +36,7 @@ func TestOnlineEstimatorSurvivesStaleExchanges(t *testing.T) {
 // TestHeadlineClaimsAcrossSeeds: the Figure 4a ordering claims must hold
 // for seeds other than the one the tables use.
 func TestHeadlineClaimsAcrossSeeds(t *testing.T) {
+	skipIfShort(t)
 	cal := DefaultCalib()
 	for _, seed := range []int64{19, 101} {
 		low := Run(RunSpec{Calib: cal, Seed: seed, Rate: 5000, Duration: 200 * time.Millisecond, BatchOn: false})

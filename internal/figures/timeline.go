@@ -25,33 +25,21 @@ type TimelineOut struct {
 func Timeline(cal Calib, rate float64, dur time.Duration, seed int64) *TimelineOut {
 	window := 20 * time.Millisecond
 	out := &TimelineOut{Rate: rate, Window: window}
-	for _, mode := range []string{"off", "on", "dyn"} {
-		spec := RunSpec{
-			Calib:       cal,
-			Seed:        seed,
-			Rate:        rate,
-			Duration:    dur,
-			WindowEvery: window,
-		}
-		switch mode {
-		case "off":
-			spec.BatchOn = false
-		case "on":
-			spec.BatchOn = true
-		case "dyn":
-			spec.Dynamic = DefaultDynamicSpec(cal.SLO)
-		}
-		r := Run(spec)
-		switch mode {
-		case "off":
-			out.Off = r.Res.Windows
-		case "on":
-			out.On = r.Res.Windows
-			out.StaticOn = r.Res.Latency.Mean()
-		case "dyn":
-			out.Dynamic = r.Res.Windows
-		}
+	base := RunSpec{
+		Calib:       cal,
+		Seed:        seed,
+		Rate:        rate,
+		Duration:    dur,
+		WindowEvery: window,
 	}
+	off, on, dyn := base, base, base
+	on.BatchOn = true
+	dyn.Dynamic = DefaultDynamicSpec(cal.SLO)
+	outs := runAll([]RunSpec{off, on, dyn})
+	out.Off = outs[0].Res.Windows
+	out.On = outs[1].Res.Windows
+	out.StaticOn = outs[1].Res.Latency.Mean()
+	out.Dynamic = outs[2].Res.Windows
 	return out
 }
 

@@ -14,8 +14,6 @@
 package hints
 
 import (
-	"sync"
-
 	"e2ebatch/internal/qstate"
 )
 
@@ -24,11 +22,12 @@ import (
 type Clock func() qstate.Time
 
 // Tracker is the userspace queue state behind the create/complete API.
-// It is safe for concurrent use.
+// It is safe for concurrent use: the counters live in a qstate.Tracker,
+// which also absorbs the timestamp inversions concurrent clock reads can
+// produce.
 type Tracker struct {
-	mu    sync.Mutex
 	clock Clock
-	st    qstate.State
+	st    *qstate.Tracker
 }
 
 // NewTracker returns a tracker using the given clock. It panics on a nil
@@ -37,9 +36,7 @@ func NewTracker(clock Clock) *Tracker {
 	if clock == nil {
 		panic("hints: nil clock")
 	}
-	t := &Tracker{clock: clock}
-	t.st.Init(clock())
-	return t
+	return &Tracker{clock: clock, st: qstate.NewTracker(clock())}
 }
 
 // Create records that n requests were just issued.
@@ -47,8 +44,6 @@ func (t *Tracker) Create(n int) {
 	if n <= 0 {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.st.Track(t.clock(), int64(n))
 }
 
@@ -60,22 +55,16 @@ func (t *Tracker) Complete(n int) {
 	if n <= 0 {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.st.Track(t.clock(), -int64(n))
 }
 
 // Outstanding returns the number of requests issued but not completed.
 func (t *Tracker) Outstanding() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.st.Size
+	return t.st.Size()
 }
 
 // Snapshot captures the 3-tuple at the current clock time.
 func (t *Tracker) Snapshot() qstate.Snapshot {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	return t.st.Snapshot(t.clock())
 }
 

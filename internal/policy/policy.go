@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"e2ebatch/internal/metrics"
@@ -123,8 +124,15 @@ func DefaultTogglerConfig() TogglerConfig {
 
 // Toggler is the ε-greedy on/off batching controller. Feed it one estimate
 // per decision tick via Observe; it returns the mode to run next tick.
-// Not safe for concurrent use.
+//
+// All methods are safe for concurrent use — decisions serialize on an
+// internal mutex, so one controller can serve estimates arriving from many
+// connections' goroutines. The rng passed to NewToggler is only ever used
+// while that mutex is held; if it is shared with other code (e.g. the
+// simulator's source), those other uses must run on the same goroutine as
+// the Observe calls or be synchronized externally.
 type Toggler struct {
+	mu   sync.Mutex
 	cfg  TogglerConfig
 	obj  Objective
 	rng  *rand.Rand
@@ -175,14 +183,24 @@ func NewToggler(obj Objective, cfg TogglerConfig, initial Mode, rng *rand.Rand) 
 }
 
 // Mode returns the currently selected batching mode.
-func (t *Toggler) Mode() Mode { return t.mode }
+func (t *Toggler) Mode() Mode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mode
+}
 
 // Stats returns a copy of the toggler's counters.
-func (t *Toggler) Stats() TogglerStats { return t.stats }
+func (t *Toggler) Stats() TogglerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
 
 // Score returns the smoothed score for mode m and whether it has enough
 // samples to be trusted.
 func (t *Toggler) Score(m Mode) (float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.score[m].Value(), t.samples[m] >= t.cfg.MinSamples
 }
 
@@ -192,6 +210,8 @@ func (t *Toggler) Score(m Mode) (float64, bool) {
 // the SkipAfterSwitch window after a switch are discarded, and the mode is
 // pinned for HoldTicks decisions following a switch.
 func (t *Toggler) Observe(latency time.Duration, throughput float64, valid bool) Mode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.stats.Decisions++
 	switch {
 	case t.skipLeft > 0:
@@ -236,12 +256,16 @@ func (t *Toggler) Observe(latency time.Duration, throughput float64, valid bool)
 // controller the paper proposes as a more principled replacement for on/off
 // toggling (§5 "Better Batching Heuristics"). The controlled value is an
 // abstract batch limit (e.g. a cork-size limit in bytes).
+//
+// Observe, Limit and AtFloor are safe for concurrent use; the exported
+// parameter fields must not be mutated after NewAIMD.
 type AIMD struct {
 	// Min and Max bound the limit; Step is the additive increase;
 	// Backoff in (0,1) is the multiplicative decrease factor.
 	Min, Max, Step int
 	Backoff        float64
 
+	mu    sync.Mutex
 	limit int
 }
 
@@ -255,11 +279,19 @@ func NewAIMD(min, max, step int, backoff float64) *AIMD {
 }
 
 // Limit returns the current batch limit.
-func (a *AIMD) Limit() int { return a.limit }
+func (a *AIMD) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
 
 // AtFloor reports whether the limit sits at Min — callers typically disable
 // batching entirely there.
-func (a *AIMD) AtFloor() bool { return a.limit <= a.Min }
+func (a *AIMD) AtFloor() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit <= a.Min
+}
 
 // Observe adapts the limit: grow increases it additively, otherwise it
 // decays multiplicatively. Which condition maps to "grow" is the caller's
@@ -267,6 +299,8 @@ func (a *AIMD) AtFloor() bool { return a.limit <= a.Min }
 // violated (more batching recovers capacity) and decay it while healthy
 // (less batching trims hold delays). It returns the new limit.
 func (a *AIMD) Observe(grow bool) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if grow {
 		a.limit += a.Step
 		if a.limit > a.Max {

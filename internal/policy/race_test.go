@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// toggleController is the Observe/Mode/Stats surface shared by the two
+// bandit controllers, mirroring the one the experiment runner uses.
+type toggleController interface {
+	Observe(latency time.Duration, throughput float64, valid bool) Mode
+	Mode() Mode
+	Stats() TogglerStats
+}
+
+// stressController hammers a controller from many goroutines — estimates
+// from "many connections" feeding one batching decision — and checks no
+// decision was lost. The mutex itself is proven by running under -race.
+func stressController(t *testing.T, tc toggleController) {
+	t.Helper()
+	const (
+		workers   = 8
+		decisions = 3000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < decisions; i++ {
+				lat := time.Duration(100+rng.Intn(900)) * time.Microsecond
+				m := tc.Observe(lat, float64(1000+rng.Intn(9000)), rng.Intn(10) != 0)
+				if m != BatchOff && m != BatchOn {
+					panic("controller returned an invalid mode")
+				}
+				// Interleave the read-only surface with decisions.
+				_ = tc.Mode()
+				_ = tc.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := tc.Stats()
+	if want := uint64(workers * decisions); st.Decisions != want {
+		t.Fatalf("decisions = %d, want %d (lost updates)", st.Decisions, want)
+	}
+	if st.Switches > st.Decisions {
+		t.Fatalf("switches %d exceed decisions %d", st.Switches, st.Decisions)
+	}
+}
+
+// TestTogglerConcurrentObserve: the ε-greedy controller under concurrent
+// Observe/Mode/Stats. The rng is owned by the toggler, per its contract.
+func TestTogglerConcurrentObserve(t *testing.T) {
+	tg := NewToggler(ThroughputUnderSLO{SLO: 500 * time.Microsecond},
+		DefaultTogglerConfig(), BatchOff, rand.New(rand.NewSource(7)))
+	stressController(t, tg)
+}
+
+// TestUCBTogglerConcurrentObserve: same stress on the UCB1 controller.
+func TestUCBTogglerConcurrentObserve(t *testing.T) {
+	stressController(t, NewUCBToggler(ThroughputUnderSLO{SLO: 500 * time.Microsecond}, BatchOff))
+}
+
+// TestAIMDConcurrentObserve: concurrent grow/decay decisions must keep the
+// limit inside [Min, Max] at every observable instant.
+func TestAIMDConcurrentObserve(t *testing.T) {
+	a := NewAIMD(1448, 64<<10, 8<<10, 0.9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				l := a.Observe(rng.Intn(2) == 0)
+				if l < a.Min || l > a.Max {
+					panic("limit escaped its bounds")
+				}
+				if got := a.Limit(); got < a.Min || got > a.Max {
+					panic("Limit() escaped its bounds")
+				}
+				_ = a.AtFloor()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Limit(); got < a.Min || got > a.Max {
+		t.Fatalf("final limit %d outside [%d, %d]", got, a.Min, a.Max)
+	}
+}

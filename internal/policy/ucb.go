@@ -2,6 +2,7 @@ package policy
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"e2ebatch/internal/metrics"
@@ -19,7 +20,12 @@ import (
 // tuning of an exploration probability needed. Scores are normalized EWMA
 // objective values; the same Hold/Skip transient guards as the ε-greedy
 // toggler apply.
+//
+// Like Toggler, all methods are safe for concurrent use: decisions
+// serialize on an internal mutex so one controller can serve estimates from
+// many connections' goroutines.
 type UCBToggler struct {
+	mu   sync.Mutex
 	obj  Objective
 	mode Mode
 
@@ -55,14 +61,24 @@ func NewUCBToggler(obj Objective, initial Mode) *UCBToggler {
 }
 
 // Mode returns the current batching mode.
-func (u *UCBToggler) Mode() Mode { return u.mode }
+func (u *UCBToggler) Mode() Mode {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.mode
+}
 
 // Stats returns a copy of the decision counters.
-func (u *UCBToggler) Stats() TogglerStats { return u.stats }
+func (u *UCBToggler) Stats() TogglerStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stats
+}
 
 // Observe feeds the estimate for the current mode and returns the mode for
 // the next interval.
 func (u *UCBToggler) Observe(latency time.Duration, throughput float64, valid bool) Mode {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	u.stats.Decisions++
 	switch {
 	case u.skipLeft > 0:

@@ -39,6 +39,10 @@ const WireSize = 36
 // are available.
 var ErrShortBuffer = errors.New("qstate: buffer shorter than 36-byte wire state")
 
+// ErrSizeMismatch is returned by DecodeWireExact when the buffer is not
+// exactly WireSize bytes.
+var ErrSizeMismatch = errors.New("qstate: wire state payload must be exactly 36 bytes")
+
 // ToWire converts a snapshot to wire units (ns → µs, wrapping to 32 bits).
 func ToWire(s Snapshot) WireQueue {
 	return WireQueue{
@@ -87,6 +91,20 @@ func DecodeWire(buf []byte) (WireState, error) {
 		off += 12
 	}
 	return WireState{Unacked: qs[0], Unread: qs[1], AckDelay: qs[2]}, nil
+}
+
+// DecodeWireExact parses a WireState from a buffer that must be exactly one
+// encoded state — the validation a framed transport (where the payload length
+// is known) should apply, rejecting both truncated and oversized payloads
+// instead of silently ignoring trailing bytes.
+func DecodeWireExact(buf []byte) (WireState, error) {
+	if len(buf) < WireSize {
+		return WireState{}, ErrShortBuffer
+	}
+	if len(buf) != WireSize {
+		return WireState{}, ErrSizeMismatch
+	}
+	return DecodeWire(buf)
 }
 
 // WireAvgs is GetAvgs over two successive wire-format snapshots of the same

@@ -1,0 +1,165 @@
+package qstate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomSchedule drives n randomized Track steps (µs-aligned so wire
+// rounding is exact) starting at startNS, and returns the state.
+func randomSchedule(rng *rand.Rand, startNS Time, n int) *State {
+	var s State
+	s.Init(startNS)
+	now := startNS
+	for i := 0; i < n; i++ {
+		now += Time(1000 * (1 + rng.Int63n(200)))
+		if s.Size > 0 && rng.Intn(2) == 0 {
+			s.Track(now, -(1 + rng.Int63n(s.Size)))
+		} else {
+			s.Track(now, 1+rng.Int63n(4))
+		}
+	}
+	return &s
+}
+
+// TestPropertyStateInvariants: across randomized Track sequences, time,
+// total, and integral are all monotonically non-decreasing, and snapshots
+// subtracted over any sub-interval report exactly the departures that
+// happened in it.
+func TestPropertyStateInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		var s State
+		s.Init(0)
+		now := Time(0)
+		prev := s.Peek()
+		var departed int64
+		for i := 0; i < 300; i++ {
+			now += Time(1 + rng.Int63n(5000))
+			var d int64
+			if s.Size > 0 && rng.Intn(2) == 0 {
+				d = -(1 + rng.Int63n(s.Size))
+				departed += -d
+			} else {
+				d = rng.Int63n(3) // includes 0-item integral advances
+			}
+			s.Track(now, d)
+			cur := s.Peek()
+			if cur.Time < prev.Time || cur.Total < prev.Total || cur.Integral < prev.Integral {
+				t.Fatalf("trial %d step %d: non-monotonic state %+v after %+v", trial, i, cur, prev)
+			}
+			prev = cur
+		}
+		if prev.Total != departed {
+			t.Fatalf("trial %d: total %d, want %d", trial, prev.Total, departed)
+		}
+	}
+}
+
+// TestPropertyWireMatchesExact: for randomized schedules, averages computed
+// from the 32-bit wire form agree with the exact 64-bit form — including
+// schedules that start just below the 2^32 µs time boundary so the wire
+// counters wrap mid-interval.
+func TestPropertyWireMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	starts := []Time{
+		0,
+		Time((int64(1)<<32 - 50_000) * 1000), // ~50 ms below the TimeUS wrap
+	}
+	for _, start := range starts {
+		for trial := 0; trial < 50; trial++ {
+			s := randomSchedule(rng, start, 100)
+			mid := s.Peek()
+			// Continue past the snapshot so [mid, end] is a second interval.
+			now := mid.Time
+			for i := 0; i < 100; i++ {
+				now += Time(1000 * (1 + rng.Int63n(1000)))
+				if s.Size > 0 && rng.Intn(2) == 0 {
+					s.Track(now, -1)
+				} else {
+					s.Track(now, 1)
+				}
+			}
+			end := s.Snapshot(now)
+			exact := GetAvgs(mid, end)
+			wire := WireAvgs(ToWire(mid), ToWire(end))
+			if exact.Valid != wire.Valid {
+				t.Fatalf("start %v trial %d: validity diverged (exact %v, wire %v)", start, trial, exact.Valid, wire.Valid)
+			}
+			if !exact.Valid {
+				continue
+			}
+			if wire.Departures != exact.Departures {
+				t.Fatalf("start %v trial %d: departures %d vs %d", start, trial, wire.Departures, exact.Departures)
+			}
+			if relDiff(float64(wire.Latency), float64(exact.Latency)) > 0.01 {
+				t.Fatalf("start %v trial %d: latency %v vs %v", start, trial, wire.Latency, exact.Latency)
+			}
+			if relDiff(wire.Throughput, exact.Throughput) > 0.01 {
+				t.Fatalf("start %v trial %d: throughput %v vs %v", start, trial, wire.Throughput, exact.Throughput)
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// TestWireAvgsAllCountersWrap: every one of the three counters wraps in the
+// same interval and the modular deltas still reconstruct the exact result.
+func TestWireAvgsAllCountersWrap(t *testing.T) {
+	prev := WireQueue{
+		TimeUS:     math.MaxUint32 - 999,
+		Total:      math.MaxUint32 - 9,
+		IntegralUS: math.MaxUint32 - 19_999,
+	}
+	now := WireQueue{TimeUS: 1000, Total: 10, IntegralUS: 20_000}
+	a := WireAvgs(prev, now)
+	if !a.Valid {
+		t.Fatal("triple-wrap interval reported invalid")
+	}
+	// dt = 2000 µs, dTotal = 20, dIntegral = 40000 item·µs.
+	if a.Elapsed != 2000*time.Microsecond {
+		t.Fatalf("elapsed = %v, want 2ms", a.Elapsed)
+	}
+	if a.Departures != 20 {
+		t.Fatalf("departures = %d, want 20", a.Departures)
+	}
+	if a.Latency != 2*time.Millisecond {
+		t.Fatalf("latency = %v, want 2ms", a.Latency)
+	}
+	if math.Abs(a.Q-20) > 1e-9 {
+		t.Fatalf("Q = %v, want 20", a.Q)
+	}
+}
+
+// TestWireAvgsZeroIntervalSnapshots: a duplicated wire snapshot (identical
+// timestamps) must be rejected whatever the counter values say, exactly as
+// GetAvgs rejects dt == 0.
+func TestWireAvgsZeroIntervalSnapshots(t *testing.T) {
+	cases := []WireQueue{
+		{TimeUS: 0, Total: 0, IntegralUS: 0},
+		{TimeUS: 77, Total: 5, IntegralUS: 1234},
+		{TimeUS: math.MaxUint32, Total: math.MaxUint32, IntegralUS: math.MaxUint32},
+	}
+	for _, q := range cases {
+		if a := WireAvgs(q, q); a.Valid || a.Q != 0 || a.Throughput != 0 || a.Latency != 0 {
+			t.Fatalf("zero-interval %+v produced %+v", q, a)
+		}
+	}
+	// The exact-form counterpart, plus a genuinely time-frozen pair whose
+	// other counters differ (reordered duplicate): both invalid.
+	s := Snapshot{Time: 500, Total: 3, Integral: 99}
+	if a := GetAvgs(s, s); a.Valid {
+		t.Fatal("exact zero-interval reported valid")
+	}
+	if a := WireAvgs(WireQueue{TimeUS: 9, Total: 1, IntegralUS: 1}, WireQueue{TimeUS: 9, Total: 2, IntegralUS: 5}); a.Valid {
+		t.Fatal("time-frozen pair with moving counters reported valid")
+	}
+}

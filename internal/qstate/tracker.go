@@ -1,0 +1,75 @@
+package qstate
+
+import "sync"
+
+// Tracker is the concurrency-safe variant of State: the same Algorithm 1/2
+// counters behind a mutex, for queues whose producers and consumers live on
+// different goroutines (a server handling many connections, the userspace
+// hint library, the real-socket harness). The plain State stays lock-free
+// for single-goroutine hot paths such as the simulator.
+//
+// Concurrent callers race to read their clock before entering the tracker,
+// so timestamps can arrive slightly out of order even when the clock itself
+// is monotonic. Unlike State.Track — which panics on backwards time because
+// in a single-goroutine setting it means the instrumentation is broken —
+// Tracker clamps a stale timestamp to the last recorded one (a zero-length
+// interval). The few-nanosecond inversions this absorbs are far below the
+// microsecond wire resolution and do not bias the integral.
+//
+// The zero value is a valid tracker for a queue empty at time 0.
+type Tracker struct {
+	mu sync.Mutex
+	st State
+}
+
+// NewTracker returns a tracker for a queue that is empty at time now.
+func NewTracker(now Time) *Tracker {
+	t := &Tracker{}
+	t.st.Init(now)
+	return t
+}
+
+// Track records that nitems were added (positive) or removed (negative) at
+// time now, clamping backwards timestamps as described on Tracker. Driving
+// the queue size negative still panics: that is a bookkeeping bug no amount
+// of scheduling jitter explains.
+func (t *Tracker) Track(now Time, nitems int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now < t.st.Time {
+		now = t.st.Time
+	}
+	t.st.Track(now, nitems)
+}
+
+// Snapshot captures the 3-tuple at time now, first advancing the integral so
+// the snapshot is consistent at exactly now (clamped like Track).
+func (t *Tracker) Snapshot(now Time) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now < t.st.Time {
+		now = t.st.Time
+	}
+	return t.st.Snapshot(now)
+}
+
+// Peek returns the 3-tuple as of the last update without advancing time.
+func (t *Tracker) Peek() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Peek()
+}
+
+// Size returns the current queue occupancy.
+func (t *Tracker) Size() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st.Size
+}
+
+// State returns a copy of the full 4-tuple, for counter dumps.
+func (t *Tracker) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st
+}

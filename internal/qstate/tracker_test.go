@@ -1,0 +1,151 @@
+package qstate
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTrackerMatchesState: driven from one goroutine, Tracker is
+// observationally identical to the plain State.
+func TestTrackerMatchesState(t *testing.T) {
+	var s State
+	s.Init(100)
+	tr := NewTracker(100)
+	schedule := []struct {
+		at Time
+		n  int64
+	}{{100, 2}, {250, 1}, {400, -2}, {400, 0}, {900, -1}, {1300, 5}, {2000, -5}}
+	for _, step := range schedule {
+		s.Track(step.at, step.n)
+		tr.Track(step.at, step.n)
+	}
+	if got, want := tr.State(), s; got != want {
+		t.Fatalf("tracker state %v, state %v", got.String(), want.String())
+	}
+	if got, want := tr.Peek(), s.Peek(); got != want {
+		t.Fatalf("Peek: %+v vs %+v", got, want)
+	}
+	if got, want := tr.Snapshot(2500), s.Snapshot(2500); got != want {
+		t.Fatalf("Snapshot: %+v vs %+v", got, want)
+	}
+}
+
+// TestTrackerClampsBackwardsTime: a stale timestamp must be folded in as a
+// zero-length interval instead of panicking like State.Track does.
+func TestTrackerClampsBackwardsTime(t *testing.T) {
+	tr := NewTracker(0)
+	tr.Track(1000, 3)
+	tr.Track(500, 1) // stale: clamped to t=1000
+	snap := tr.Peek()
+	if snap.Time != 1000 {
+		t.Fatalf("time = %d, want clamp at 1000", snap.Time)
+	}
+	if tr.Size() != 4 {
+		t.Fatalf("size = %d, want 4", tr.Size())
+	}
+	// The clamped update contributed no integral (dt = 0).
+	if snap.Integral != 0 {
+		t.Fatalf("integral = %d, want 0", snap.Integral)
+	}
+}
+
+// TestTrackerNegativeSizeStillPanics: clamping covers clock skew, not
+// bookkeeping bugs.
+func TestTrackerNegativeSizeStillPanics(t *testing.T) {
+	tr := NewTracker(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing from an empty tracked queue did not panic")
+		}
+	}()
+	tr.Track(10, -1)
+}
+
+// TestTrackerConcurrentTrackSnapshot is the race-stress test: many
+// goroutines Track arrivals and departures under a shared monotonic clock
+// while readers take Snapshots. Run under -race this proves the locking;
+// the final counters prove no update was lost.
+func TestTrackerConcurrentTrackSnapshot(t *testing.T) {
+	const (
+		workers = 8
+		pairs   = 2000
+	)
+	var clock atomic.Int64
+	now := func() Time { return Time(clock.Add(1)) }
+
+	tr := NewTracker(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				tr.Track(now(), 1)
+				tr.Track(now(), -1)
+			}
+		}()
+	}
+	// Concurrent readers: snapshots must always be internally consistent
+	// (monotonic time, total, integral).
+	done := make(chan struct{})
+	var readerErr atomic.Value
+	for r := 0; r < 2; r++ {
+		go func() {
+			var prev Snapshot
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := tr.Snapshot(now())
+				if s.Time < prev.Time || s.Total < prev.Total || s.Integral < prev.Integral {
+					readerErr.Store(true)
+					return
+				}
+				prev = s
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	if readerErr.Load() != nil {
+		t.Fatal("reader observed a non-monotonic snapshot")
+	}
+	final := tr.State()
+	if final.Size != 0 {
+		t.Fatalf("final size = %d, want 0 (balanced arrivals/departures)", final.Size)
+	}
+	if want := int64(workers * pairs); final.Total != want {
+		t.Fatalf("total departures = %d, want %d (lost updates)", final.Total, want)
+	}
+}
+
+// TestTrackerConcurrentWallClock stresses the clamp path with the real
+// clock: goroutines read time.Now before contending on the lock, so
+// inversions genuinely occur, and none may panic or corrupt counters.
+func TestTrackerConcurrentWallClock(t *testing.T) {
+	start := time.Now()
+	now := func() Time { return Time(time.Since(start)) }
+	tr := NewTracker(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Track(now(), 1)
+				tr.Track(now(), -1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Size(); got != 0 {
+		t.Fatalf("final size = %d, want 0", got)
+	}
+	if got := tr.State().Total; got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+}

@@ -30,10 +30,10 @@ type Server struct {
 	engine *kv.Engine
 
 	wg       sync.WaitGroup
-	listener net.Listener
+	listener net.Listener // guarded by connMu: Serve publishes, Close reads
 	closed   chan struct{}
 
-	connMu sync.Mutex
+	connMu sync.Mutex // guards conns and listener
 	conns  map[net.Conn]struct{}
 
 	// Nagle controls whether accepted connections keep Nagle enabled
@@ -49,7 +49,17 @@ func NewServer(engine *kv.Engine) *Server {
 // Serve accepts connections on l until Close. It returns the first
 // non-temporary accept error, or nil after Close.
 func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
 	s.listener = l
+	s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		// Close ran before the listener was published; it is our job to
+		// release it.
+		l.Close()
+		return nil
+	default:
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -86,10 +96,10 @@ func (s *Server) Serve(l net.Listener) error {
 // handlers to finish.
 func (s *Server) Close() {
 	close(s.closed)
+	s.connMu.Lock()
 	if s.listener != nil {
 		s.listener.Close()
 	}
-	s.connMu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}

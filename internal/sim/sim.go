@@ -82,6 +82,13 @@ func (h *eventHeap) Pop() any {
 
 // Sim is a discrete-event simulator. The zero value is not ready for use;
 // construct with New.
+//
+// A Sim (clock, event heap and random source) is confined to a single
+// goroutine: all scheduling and Run/Step calls must come from the same
+// goroutine, and the *rand.Rand returned by Rand must never be shared with
+// another simulator. Distinct Sim instances are fully independent — running
+// many of them on separate goroutines is safe and is how the figures
+// package parallelizes experiment sweeps.
 type Sim struct {
 	now     Time
 	seq     uint64

@@ -1,23 +1,42 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: tier1 vet build test race clean
+.PHONY: tier1 vet lint build test race clean
 
-# tier1 is the CI gate: vet, build, the full suite, and the race detector
-# over the short-mode suite (full sweeps are skipped under -short so the
-# ~10x race overhead stays affordable; the determinism, invariant, fuzz-seed
-# and stress tests all still run).
-tier1: vet build test race
+# tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
+# so the graph is fail-fast even under `make -j`: nothing downstream of a
+# failed build runs, and a serial `make tier1` stops at the first failing
+# stage):
+#
+#   tier1 ─┬─ vet
+#          ├─ lint ─→ build   (e2elint resolves imports via build artifacts)
+#          ├─ build
+#          ├─ test ─→ build
+#          └─ race ─→ build
+#
+# race runs the short-mode suite only: full sweeps are skipped under -short
+# so the ~10x race overhead stays affordable; the determinism, invariant,
+# fuzz-seed and stress tests all still run.
+tier1: vet lint build test race
 
 vet:
 	$(GO) vet ./...
 
+# lint enforces gofmt plus the project's own invariants: the six e2elint
+# analyzers described in DESIGN.md §8 "Enforced invariants". Suppressions
+# require a justified `//lint:ignore e2elint/<name> reason` directive.
+lint: build
+	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) run ./cmd/e2elint ./...
+
 build:
 	$(GO) build ./...
 
-test:
+test: build
 	$(GO) test ./...
 
-race:
+race: build
 	$(GO) test -short -race ./...
 
 clean:

@@ -1,0 +1,96 @@
+// Command e2elint runs e2ebatch's project-specific static analysis suite —
+// the six analyzers in internal/lint that enforce the concurrency and
+// determinism invariants the estimator's correctness depends on (see
+// DESIGN.md "Enforced invariants").
+//
+// Usage:
+//
+//	e2elint [-list] [packages or directories]
+//
+// Arguments default to ./... and may be go package patterns or plain
+// directories (directories are analyzed as loose packages, which is how the
+// analyzer testdata exercises seeded violations). Findings print as
+// file:line:col: e2elint/<analyzer>: message; the exit status is 1 when any
+// finding survives, 2 on a usage or load error, 0 on a clean tree.
+//
+// A finding can be suppressed with a justified escape hatch on or above the
+// offending line:
+//
+//	//lint:ignore e2elint/<analyzer> <reason>
+//
+// The driver verifies the reason string is present; a bare directive is
+// itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"e2ebatch/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("e2elint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list the analyzers and exit")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "e2elint/%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var pkgs []*lint.Package
+	var globs []string
+	for _, pat := range patterns {
+		if st, err := os.Stat(pat); err == nil && st.IsDir() {
+			pkg, err := loader.LoadDir(pat)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		globs = append(globs, pat)
+	}
+	if len(globs) > 0 {
+		loaded, err := loader.Load(globs...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Check(pkg, analyzers) {
+			findings++
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "e2elint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -31,6 +31,7 @@ func main() {
 		toggle  = flag.Bool("toggle", false, "dynamically toggle TCP_NODELAY from the estimates")
 		tick    = flag.Duration("tick", 10*time.Millisecond, "estimate/toggle tick")
 		slo     = flag.Duration("slo", 500*time.Microsecond, "latency SLO for the toggling objective")
+		seed    = flag.Int64("seed", 1, "toggler exploration RNG seed; 0 draws one from the wall clock")
 	)
 	flag.Parse()
 
@@ -56,9 +57,15 @@ func main() {
 		Tick:     *tick,
 	}
 	if *toggle {
+		// Repeated runs explore identically by default; -seed 0 opts into a
+		// wall-clock seed for operators who want varied exploration.
+		s := *seed
+		if s == 0 {
+			s = time.Now().UnixNano()
+		}
 		opts.Toggler = policy.NewToggler(policy.ThroughputUnderSLO{SLO: *slo},
 			policy.DefaultTogglerConfig(), policy.BatchOff,
-			rand.New(rand.NewSource(time.Now().UnixNano())))
+			rand.New(rand.NewSource(s)))
 	}
 
 	rep, err := realtcp.RunLoad(c, opts)

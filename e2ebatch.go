@@ -59,14 +59,17 @@ type (
 // WireSize is the encoded size of a WireState: 36 bytes, as stated in §3.2.
 const WireSize = qstate.WireSize
 
-// EncodeWire serializes a WireState; DecodeWire parses one; WireAvgs
-// computes wrap-aware averages between two exchanges; ToWireQueue converts
-// a full-precision snapshot to wire units.
+// EncodeWire serializes a WireState; DecodeWire parses one from a stream
+// prefix; DecodeWireExact parses a framed payload, rejecting trailing bytes
+// (prefer it whenever the payload length is known — e2elint/wiresize steers
+// callers here); WireAvgs computes wrap-aware averages between two
+// exchanges; ToWireQueue converts a full-precision snapshot to wire units.
 var (
-	EncodeWire  = qstate.EncodeWire
-	DecodeWire  = qstate.DecodeWire
-	WireAvgs    = qstate.WireAvgs
-	ToWireQueue = qstate.ToWire
+	EncodeWire      = qstate.EncodeWire
+	DecodeWire      = qstate.DecodeWire
+	DecodeWireExact = qstate.DecodeWireExact
+	WireAvgs        = qstate.WireAvgs
+	ToWireQueue     = qstate.ToWire
 )
 
 // End-to-end estimation (§3.2).

@@ -1,0 +1,40 @@
+package lint
+
+import "testing"
+
+func TestDetRandGolden(t *testing.T) {
+	runGolden(t, DetRand, "detrand")
+}
+
+func TestWallClockGoldenRestricted(t *testing.T) {
+	// The testdata stands in for a simulated-time package.
+	runGoldenAs(t, WallClock, "wallclock", "e2ebatch/internal/sim")
+}
+
+func TestWallClockGoldenUnrestricted(t *testing.T) {
+	// The same reads under an unrestricted path produce nothing.
+	runGolden(t, WallClock, "wallclock_ok")
+}
+
+func TestWireSizeGolden(t *testing.T) {
+	runGolden(t, WireSize, "wiresize")
+}
+
+func TestLockSafetyGolden(t *testing.T) {
+	runGolden(t, LockSafety, "locksafety")
+}
+
+func TestSnapshotPairGolden(t *testing.T) {
+	runGolden(t, SnapshotPair, "snapshotpair")
+}
+
+func TestMutexHoldGoldenRestricted(t *testing.T) {
+	runGoldenAs(t, MutexHold, "mutexhold", "e2ebatch/internal/policy")
+}
+
+func TestMutexHoldGoldenUnrestricted(t *testing.T) {
+	// Outside qstate/core/policy the same code is not this analyzer's
+	// business (realtcp's server does socket I/O under its own locks by
+	// design), so the want comments in the testdata must all go unmatched.
+	runExpectNone(t, MutexHold, "mutexhold")
+}

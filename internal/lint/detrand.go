@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand protects the per-run seeded determinism contract: every RNG must
+// be an explicitly seeded *rand.Rand threaded through constructors (each
+// run's stream derived from its own spec.Seed), never the process-global
+// math/rand source and never a wall-clock seed. Three shapes are flagged:
+//
+//  1. calls to math/rand's top-level functions that draw from the shared
+//     global source (rand.Intn, rand.Float64, rand.Seed, rand.Shuffle, ...);
+//  2. package-level variables of type *rand.Rand or rand.Source — a global
+//     stream shared across runs reintroduces cross-run coupling even when
+//     seeded;
+//  3. rand.New / rand.NewSource seeded from time.Now (run-to-run
+//     nondeterminism by construction).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global or wall-clock-seeded math/rand state",
+	Run:  runDetRand,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are the
+// sanctioned alternative and are absent.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "ExpFloat64": true, "NormFloat64": true,
+}
+
+func runDetRand(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, isVar := obj.(*types.Var); !isVar {
+						continue
+					}
+					if typeIs(obj.Type(), "math/rand", "Rand") || isRandSource(obj.Type()) {
+						p.Reportf(name.Pos(),
+							"package-level RNG %s shares one stream across runs; thread a per-run seeded *rand.Rand instead",
+							name.Name)
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math/rand" {
+				return true
+			}
+			if fn, ok := obj.(*types.Func); !ok || fn.Type().(*types.Signature).Recv() != nil {
+				// Methods on an explicit *rand.Rand / Source are exactly
+				// what the contract asks for.
+				return true
+			}
+			switch {
+			case globalRandFuncs[obj.Name()]:
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source; use a per-run seeded *rand.Rand",
+					obj.Name())
+			case obj.Name() == "New" || obj.Name() == "NewSource":
+				if tn := wallClockSeed(p.TypesInfo, call); tn != nil {
+					p.Reportf(call.Pos(),
+						"rand.%s seeded from time.Now is nondeterministic across runs; thread an explicit seed",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isRandSource reports whether t is math/rand.Source or Source64.
+func isRandSource(t types.Type) bool {
+	return typeIs(t, "math/rand", "Source") || typeIs(t, "math/rand", "Source64")
+}
+
+// wallClockSeed returns the time.Now call feeding a rand constructor's
+// arguments, if any. Nested rand constructors are skipped — they produce
+// their own diagnostic, so rand.New(rand.NewSource(time.Now()...)) is
+// reported once, at the NewSource.
+func wallClockSeed(info *types.Info, call *ast.CallExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(info, c)
+			if objIs(callee, "math/rand", "New") || objIs(callee, "math/rand", "NewSource") {
+				return false
+			}
+			if objIs(callee, "time", "Now") {
+				found = c
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,130 @@
+package lint
+
+// The golden-test harness: each analyzer has a testdata/src/<name> package
+// whose files carry `// want "regexp"` comments on the lines where a
+// diagnostic is expected (several per line allowed). runGolden loads the
+// directory as a loose package, runs exactly one analyzer, and fails on any
+// unmatched expectation or unexpected diagnostic — the same contract as
+// x/tools' analysistest, minus the dependency.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader (one `go list -export -deps` run) for the
+// whole test binary.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader("")
+	})
+	if loaderErr != nil {
+		t.Fatalf("building loader: %v", loaderErr)
+	}
+	return loader
+}
+
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	runGoldenAs(t, a, dir, "")
+}
+
+func runGoldenAs(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	pkg, err := sharedLoader(t).LoadDirAs(full, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", full, err)
+	}
+	diags := Check(pkg, []*Analyzer{a})
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string]map[int][]*want{} // file -> line -> expectations
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		wants[name] = map[int][]*want{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, raw := range parseWants(t, c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), raw, err)
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					wants[name][line] = append(wants[name][line], &want{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+// runExpectNone asserts the analyzer produces zero diagnostics over the
+// directory, disregarding any want comments (used to show a rule is scoped
+// off outside its restricted packages).
+func runExpectNone(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	pkg, err := sharedLoader(t).LoadDir(full)
+	if err != nil {
+		t.Fatalf("loading %s: %v", full, err)
+	}
+	for _, d := range Check(pkg, []*Analyzer{a}) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants extracts the quoted regexps from a `// want "a" "b"` comment.
+func parseWants(t *testing.T, text string) []string {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var out []string
+	for _, q := range wantStrRe.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("bad want string %s: %v", q, err)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package mutexhold is golden testdata for e2elint/mutexhold; the test
+// loads it under the import path of a monitored package.
+package mutexhold
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+type ctrl struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	n    int
+}
+
+func (c *ctrl) pairedLockUnlock() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call to time.Sleep while mutex c.mu is held"
+	fmt.Println(c.n)             // want "blocking call to fmt.Println while mutex c.mu is held"
+	c.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: released
+}
+
+func (c *ctrl) deferredUnlock(buf []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Read(buf) // want "blocking call to net method Read while mutex c.mu is held"
+}
+
+func (c *ctrl) channelOps(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n  // want "channel send while mutex c.mu is held"
+	c.n = <-ch // want "channel receive while mutex c.mu is held"
+}
+
+func (c *ctrl) insideControlFlow(bufs [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, buf := range bufs {
+		if len(buf) > 0 {
+			if _, err := c.conn.Write(buf); err != nil { // want "blocking call to net method Write while mutex c.mu is held"
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *ctrl) rlockToo() {
+	c.rw.RLock()
+	fmt.Println(c.n) // want "blocking call to fmt.Println while mutex c.rw is held"
+	c.rw.RUnlock()
+}
+
+func (c *ctrl) branchScoped(quick bool) {
+	if quick {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // ok: the branch released its lock
+}
+
+func (c *ctrl) readOutsideLock(buf []byte) (int, error) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	_ = n
+	return c.conn.Read(buf) // ok: released before the read
+}
+
+func (c *ctrl) closureBuiltUnderLock() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		time.Sleep(time.Millisecond) // ok: runs after the critical section
+	}
+}
+
+func (c *ctrl) nonBlockingWork() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = c.n*2 + len(fmt.Sprintf("%d", c.n)) // ok: Sprintf allocates, never blocks
+}

@@ -1,0 +1,51 @@
+// Package snapshotpair is golden testdata for e2elint/snapshotpair.
+package snapshotpair
+
+import "e2ebatch/internal/qstate"
+
+func mixedDirect(now qstate.Time) {
+	var a, b qstate.State
+	_ = qstate.GetAvgs(a.Snapshot(now), b.Snapshot(now)) // want "GetAvgs arguments come from different trackers"
+}
+
+func mixedViaVars(now qstate.Time) {
+	var a, b qstate.State
+	prev := a.Snapshot(now)
+	cur := b.Snapshot(now + 1000)
+	_ = qstate.GetAvgs(prev, cur) // want "GetAvgs arguments come from different trackers"
+}
+
+func mixedWire(now qstate.Time) {
+	var a, b qstate.State
+	w1 := qstate.ToWire(a.Snapshot(now))
+	w2 := qstate.ToWire(b.Snapshot(now + 1000))
+	_ = qstate.WireAvgs(w1, w2) // want "WireAvgs arguments come from different trackers"
+}
+
+func mixedTrackers(now qstate.Time) {
+	t1 := qstate.NewTracker(0)
+	t2 := qstate.NewTracker(0)
+	_ = qstate.GetAvgs(t1.Snapshot(now), t2.Peek()) // want "GetAvgs arguments come from different trackers"
+}
+
+func samePair(now qstate.Time) {
+	var a qstate.State
+	prev := a.Snapshot(now)
+	cur := a.Snapshot(now + 1000)
+	_ = qstate.GetAvgs(prev, cur) // ok: successive snapshots of one queue
+	_ = qstate.WireAvgs(qstate.ToWire(prev), qstate.ToWire(cur))
+}
+
+// Origins that cross a function boundary are unknown, and unknown never
+// flags: the analyzer only reports provable mismatches.
+func unknownOrigins(p1, p2 qstate.Snapshot) {
+	_ = qstate.GetAvgs(p1, p2)
+}
+
+// Reassignment makes the origin flow-sensitive; the analyzer stays silent.
+func reassigned(now qstate.Time) {
+	var a, b qstate.State
+	s := a.Snapshot(now)
+	s = b.Snapshot(now)
+	_ = qstate.GetAvgs(s, b.Snapshot(now+1))
+}

@@ -1,0 +1,10 @@
+// Package wallclock_ok is golden testdata for e2elint/wallclock: the same
+// wall-clock reads are legal outside the simulated-time packages, so a load
+// under the default (unrestricted) import path must produce no findings.
+package wallclock_ok
+
+import "time"
+
+func reads() time.Duration {
+	return time.Since(time.Now())
+}

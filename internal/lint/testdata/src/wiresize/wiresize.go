@@ -1,0 +1,26 @@
+// Package wiresize is golden testdata for e2elint/wiresize.
+package wiresize
+
+import "e2ebatch/internal/qstate"
+
+func unchecked(buf []byte) (qstate.WireState, error) {
+	return qstate.DecodeWire(buf) // want "DecodeWire ignores trailing bytes"
+}
+
+func uncheckedSubslice(buf []byte) (qstate.WireState, error) {
+	return qstate.DecodeWire(buf[:36]) // want "DecodeWire ignores trailing bytes"
+}
+
+func exact(buf []byte) (qstate.WireState, error) {
+	return qstate.DecodeWireExact(buf) // ok: rejects trailing bytes itself
+}
+
+func exactArray() (qstate.WireState, error) {
+	var buf [qstate.WireSize]byte
+	return qstate.DecodeWire(buf[:]) // ok: length pinned by the array type
+}
+
+func ignored(buf []byte) (qstate.WireState, error) {
+	//lint:ignore e2elint/wiresize this parser frames payloads upstream
+	return qstate.DecodeWire(buf)
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// simOnlyPackages are the packages where only the simulated clock is legal:
+// the discrete-event simulator and everything that replays it. A wall-clock
+// read there silently decouples the estimator's integrals from virtual time
+// and destroys the serial-vs-parallel golden determinism PR 1 established —
+// the sweep would still run, but its figures would depend on host load.
+var simOnlyPackages = []string{
+	"e2ebatch/internal/sim",
+	"e2ebatch/internal/tcpsim",
+	"e2ebatch/internal/figures",
+	"e2ebatch/internal/analytic",
+}
+
+// WallClock flags time.Now / time.Since / time.Until inside the
+// simulated-time packages. Real-socket code (internal/realtcp, cmd/...)
+// legitimately reads the wall clock and is out of scope.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads inside simulated-time packages",
+	Run:  runWallClock,
+}
+
+func runWallClock(p *Pass) {
+	if !pathIsOneOf(p.Pkg.Path(), simOnlyPackages...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(p.TypesInfo, call)
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if objIs(obj, "time", name) {
+					p.Reportf(call.Pos(),
+						"wall-clock time.%s in simulated-time package %s; use the simulation clock (sim.Time / qstate.Time)",
+						name, p.Pkg.Path())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WireSize steers callers of the 36-byte wire codec to DecodeWireExact.
+// DecodeWire accepts any buffer of at least 36 bytes and silently ignores
+// trailing data, which is the right primitive for streaming parsers but a
+// trap on framed transports: a corrupted length field decodes a garbage
+// prefix instead of failing. Any call to DecodeWire outside package qstate
+// is flagged unless the argument is provably exactly WireSize bytes (a full
+// slice of a [WireSize]byte array). Calls through the e2ebatch facade's
+// DecodeWire variable are resolved and flagged the same way.
+var WireSize = &Analyzer{
+	Name: "wiresize",
+	Doc:  "require DecodeWireExact (or a provably exact buffer) for wire-state decoding",
+	Run:  runWireSize,
+}
+
+func runWireSize(p *Pass) {
+	if pathIsOneOf(p.Pkg.Path(), qstatePath) {
+		return // the codec's own implementation and tests
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isDecodeWire(p.TypesInfo, call) {
+				return true
+			}
+			if len(call.Args) == 1 && exactWireBuf(p.TypesInfo, call.Args[0]) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"DecodeWire ignores trailing bytes; use DecodeWireExact on framed payloads (or decode from a [WireSize]byte array)")
+			return true
+		})
+	}
+}
+
+// isDecodeWire reports whether the call resolves to qstate.DecodeWire,
+// either directly or through a function-typed variable (the facade alias)
+// with the same name and signature.
+func isDecodeWire(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Name() != "DecodeWire" {
+		return false
+	}
+	if objIs(obj, qstatePath, "DecodeWire") {
+		return true
+	}
+	// A var such as e2ebatch.DecodeWire: require the qstate signature so an
+	// unrelated DecodeWire elsewhere is not caught.
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	return typeIs(sig.Results().At(0).Type(), qstatePath, "WireState")
+}
+
+// exactWireBuf reports whether e is a full slice (or direct use) of a
+// [WireSize]byte array — a buffer whose length the type system pins to 36.
+func exactWireBuf(info *types.Info, e ast.Expr) bool {
+	slice, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || slice.Low != nil || slice.High != nil {
+		return false
+	}
+	arr, ok := types.Unalias(info.TypeOf(slice.X)).(*types.Array)
+	if !ok {
+		if ptr, isPtr := types.Unalias(info.TypeOf(slice.X)).(*types.Pointer); isPtr {
+			arr, ok = types.Unalias(ptr.Elem()).(*types.Array)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return arr != nil && arr.Len() == 36
+}

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint build test race clean
+.PHONY: tier1 vet lint build test race cover clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -13,6 +13,7 @@ GOFMT ?= gofmt
 #          ├─ build
 #          ├─ test ─→ build
 #          └─ race ─→ build
+#   cover ──→ build           (slow; run on demand, not part of the gate)
 #
 # race runs the short-mode suite only: full sweeps are skipped under -short
 # so the ~10x race overhead stays affordable; the determinism, invariant,
@@ -39,5 +40,28 @@ test: build
 race: build
 	$(GO) test -short -race ./...
 
+# cover runs the full suite with statement coverage, prints the per-package
+# summary, and enforces floors on the packages whose edge cases the paper's
+# correctness rests on: the wrap-aware counter math (qstate), the estimate
+# combination (core), and the fault-injection subsystem (faults). Floors sit
+# a few points under measured coverage at introduction (qstate 98.9%,
+# core 92.9%, faults 95.5%) so incidental drift passes but a feature landing
+# untested does not.
+cover: build
+	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
+	@cat cover.txt
+	@$(GO) tool cover -func=cover.out | tail -1
+	@awk 'BEGIN { floor["e2ebatch/internal/qstate"]=95; \
+		floor["e2ebatch/internal/core"]=88; \
+		floor["e2ebatch/internal/faults"]=90 } \
+		/^ok/ && /coverage:/ { \
+			v=""; for (i=1;i<=NF;i++) if ($$i=="coverage:") { v=$$(i+1); sub("%","",v) } \
+			if (($$2 in floor) && v+0 < floor[$$2]) { \
+				printf "coverage floor violated: %s at %s%% (floor %d%%)\n", $$2, v, floor[$$2]; bad=1 } \
+			delete floor[$$2] } \
+		END { for (p in floor) { printf "coverage floor unchecked: %s missing from test output\n", p; bad=1 } \
+			exit bad }' cover.txt
+
 clean:
 	$(GO) clean ./...
+	rm -f cover.out cover.txt

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"e2ebatch/internal/faults"
 	"e2ebatch/internal/figures"
 	"e2ebatch/internal/tcpsim"
 	"e2ebatch/internal/trace"
@@ -30,14 +31,15 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 1, 2, 4a, 4b, toggle, hints, aimd, tick, exchange, multiconn, timeline, tail, gro, cscan, bandits, loss, rep, all")
-		dur      = flag.Duration("dur", 300*time.Millisecond, "virtual duration of each run")
-		seed     = flag.Int64("seed", 7, "simulation seed")
-		rateList = flag.String("rates", "", "comma-separated offered loads in RPS (default: figure-specific grid)")
-		traceOut = flag.String("trace", "", "dump a raw counter log for one 35 kRPS batching-off run to this file")
-		analyze  = flag.String("analyze", "", "offline-analyze a counter log dumped with -trace and exit")
-		batch    = flag.Int("syscall-batch", 4, "requests per send(2) in the hints experiment")
-		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep runs (results are identical for any value)")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 1, 2, 4a, 4b, toggle, hints, aimd, tick, exchange, multiconn, timeline, tail, gro, cscan, bandits, loss, faults, rep, all")
+		faultPlan = flag.String("faults", "metadrop", "fault plan for -fig faults: "+strings.Join(faults.Names(), ", "))
+		dur       = flag.Duration("dur", 300*time.Millisecond, "virtual duration of each run")
+		seed      = flag.Int64("seed", 7, "simulation seed")
+		rateList  = flag.String("rates", "", "comma-separated offered loads in RPS (default: figure-specific grid)")
+		traceOut  = flag.String("trace", "", "dump a raw counter log for one 35 kRPS batching-off run to this file")
+		analyze   = flag.String("analyze", "", "offline-analyze a counter log dumped with -trace and exit")
+		batch     = flag.Int("syscall-batch", 4, "requests per send(2) in the hints experiment")
+		par       = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for sweep runs (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -116,6 +118,8 @@ func main() {
 			figures.WriteReplicated(os.Stdout, figures.ReplicatedFig4a(cal, rates, *dur, []int64{*seed, *seed + 12, *seed + 94}))
 		case "loss":
 			figures.WriteLoss(os.Stdout, figures.LossRobustness(cal, 20000, []float64{0, 0.001, 0.01, 0.05}, *dur, *seed))
+		case "faults":
+			figures.WriteFaultSweep(os.Stdout, figures.FaultSweep(cal, 20000, []float64{0, 0.01, 0.05}, *faultPlan, *dur, *seed))
 		case "bandits":
 			figures.WritePolicyCompare(os.Stdout, figures.PolicyCompare(cal, []float64{10000, 45000, 60000}, *dur, *seed))
 		case "cscan":
@@ -135,7 +139,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"1", "2", "4a", "4b", "toggle", "hints", "aimd", "tick", "exchange", "multiconn", "timeline", "tail", "gro", "cscan", "bandits", "loss", "rep"} {
+		for _, name := range []string{"1", "2", "4a", "4b", "toggle", "hints", "aimd", "tick", "exchange", "multiconn", "timeline", "tail", "gro", "cscan", "bandits", "loss", "faults", "rep"} {
 			run(name)
 		}
 		return

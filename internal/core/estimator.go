@@ -70,6 +70,16 @@ type Estimate struct {
 	Throughput float64
 	// Valid reports whether at least one view could be computed.
 	Valid bool
+	// Degraded reports that the peer's metadata was missing or stale, so
+	// the estimate (if Valid) is the local-only fallback: the remote
+	// unread and ack-delay terms of the §3.2 formula are absent.
+	// Consumers that act on estimates (toggling policies) should treat a
+	// degraded estimate as untrusted input rather than ground truth.
+	Degraded bool
+	// RemoteStale distinguishes why a degraded estimate lacks peer data:
+	// true means an exchange exists but aged past MaxRemoteAge, false
+	// means none has arrived over the interval at all.
+	RemoteStale bool
 }
 
 // viewLatency evaluates L_unacked^local − L_ackdelay^remote +
@@ -124,11 +134,15 @@ func EstimateE2E(local, remote Delays) Estimate {
 
 // Sample is one observation an Estimator consumes: the local queues' exact
 // snapshots plus the peer's most recent wire-format exchange (ok reports
-// whether any exchange has arrived yet).
+// whether any exchange has arrived yet). At and RemoteAt carry the sample
+// time and the exchange's arrival time on the same clock; they matter only
+// when the estimator enforces MaxRemoteAge and may otherwise stay zero.
 type Sample struct {
 	Local    Queues
 	Remote   qstate.WireState
 	RemoteOK bool
+	At       qstate.Time
+	RemoteAt qstate.Time
 }
 
 // Estimator turns a stream of samples into per-interval end-to-end
@@ -136,14 +150,25 @@ type Sample struct {
 // the paper describes (§5 Metadata Exchange). The zero value is ready to
 // use; the first Update only primes it.
 type Estimator struct {
+	// MaxRemoteAge bounds how old the peer's last exchange may be, on the
+	// Sample.At clock, before the estimator stops trusting it and falls
+	// back to the local-only view with Estimate.Degraded set. Zero (the
+	// default) disables the staleness check — appropriate only when the
+	// exchange transport cannot stall, e.g. offline trace replay.
+	MaxRemoteAge time.Duration
+
 	prev      Sample
 	primed    bool
 	estimates uint64
+	degraded  uint64
 }
 
 // Update folds in a new sample and returns the estimate for the interval
 // since the previous one. The returned estimate is invalid while priming or
-// when the interval carried no departures.
+// when the interval carried no departures, and flagged Degraded when the
+// peer's metadata was missing or older than MaxRemoteAge — real networks
+// delay and drop the exchange packets, and a stale tuple silently skews the
+// remote terms, so it is excluded rather than consumed.
 func (e *Estimator) Update(s Sample) Estimate {
 	if !e.primed {
 		e.prev = s
@@ -151,12 +176,22 @@ func (e *Estimator) Update(s Sample) Estimate {
 		return Estimate{}
 	}
 	local := DelaysBetween(e.prev.Local, s.Local)
+	remoteOK := e.prev.RemoteOK && s.RemoteOK
+	stale := false
+	if remoteOK && e.MaxRemoteAge > 0 && time.Duration(s.At-s.RemoteAt) > e.MaxRemoteAge {
+		remoteOK, stale = false, true
+	}
 	var remote Delays
-	if e.prev.RemoteOK && s.RemoteOK {
+	if remoteOK {
 		remote = WireDelays(e.prev.Remote, s.Remote)
 	}
 	e.prev = s
 	est := EstimateE2E(local, remote)
+	est.Degraded = !remoteOK
+	est.RemoteStale = stale
+	if est.Degraded {
+		e.degraded++
+	}
 	if est.Valid {
 		e.estimates++
 	}
@@ -164,11 +199,19 @@ func (e *Estimator) Update(s Sample) Estimate {
 }
 
 // Reset discards the priming state, e.g. after an idle period long enough
-// to make the previous sample stale.
-func (e *Estimator) Reset() { *e = Estimator{} }
+// to make the previous sample stale, or after a connection reset invalidated
+// the peer's counters. Configuration (MaxRemoteAge) survives the reset.
+func (e *Estimator) Reset() {
+	maxAge := e.MaxRemoteAge
+	*e = Estimator{MaxRemoteAge: maxAge}
+}
 
 // Estimates returns how many valid estimates have been produced.
 func (e *Estimator) Estimates() uint64 { return e.estimates }
+
+// DegradedCount returns how many post-priming updates ran without usable
+// peer metadata.
+func (e *Estimator) DegradedCount() uint64 { return e.degraded }
 
 // Aggregate combines per-connection estimates into one, weighting each
 // connection's latency by its throughput — the per-connection averaging the

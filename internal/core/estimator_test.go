@@ -236,3 +236,81 @@ func BenchmarkEstimatorUpdate(b *testing.B) {
 		_ = e.Update(samples[0])
 	}
 }
+
+// TestEstimatorDegradedWithoutRemote: post-priming updates lacking peer
+// metadata flag Degraded (with RemoteStale false — nothing ever arrived)
+// while the local-only estimate stays valid and sane.
+func TestEstimatorDegradedWithoutRemote(t *testing.T) {
+	l0, l1, _, _ := buildQueues(t, 100, 100*time.Microsecond,
+		50*time.Microsecond, 0, 0)
+	var e Estimator
+	e.Update(Sample{Local: l0})
+	got := e.Update(Sample{Local: l1})
+	if !got.Degraded || got.RemoteStale {
+		t.Fatalf("estimate = %+v, want Degraded without RemoteStale", got)
+	}
+	if !got.Valid || got.Latency <= 0 {
+		t.Fatalf("degraded estimate lost the local fallback: %+v", got)
+	}
+	if e.DegradedCount() != 1 {
+		t.Fatalf("DegradedCount() = %d, want 1", e.DegradedCount())
+	}
+}
+
+// TestEstimatorStaleRemoteDegrades: with MaxRemoteAge set, an exchange older
+// than the bound is excluded — Degraded and RemoteStale both set, the remote
+// terms dropped from the formula — while a fresh exchange keeps the full
+// estimate. With the buildQueues workload the remote terms are worth
+// −10 + 20 = +10µs on top of the 50µs local unacked delay.
+func TestEstimatorStaleRemoteDegrades(t *testing.T) {
+	l0, l1, r0, r1 := buildQueues(t, 1000, 100*time.Microsecond,
+		50*time.Microsecond, 20*time.Microsecond, 10*time.Microsecond)
+	at0, at1 := qstate.Time(0), qstate.Time(200*time.Millisecond)
+	near := func(got, want time.Duration) bool {
+		d := got - want
+		return d > -time.Microsecond && d < time.Microsecond
+	}
+
+	fresh := Estimator{MaxRemoteAge: 5 * time.Millisecond}
+	fresh.Update(Sample{Local: l0, Remote: r0, RemoteOK: true, At: at0, RemoteAt: at0})
+	got := fresh.Update(Sample{Local: l1, Remote: r1, RemoteOK: true, At: at1, RemoteAt: at1 - qstate.Time(time.Millisecond)})
+	if got.Degraded || !near(got.LocalView, 60*time.Microsecond) {
+		t.Fatalf("fresh exchange: %+v, want non-degraded ~60µs", got)
+	}
+
+	stale := Estimator{MaxRemoteAge: 5 * time.Millisecond}
+	stale.Update(Sample{Local: l0, Remote: r0, RemoteOK: true, At: at0, RemoteAt: at0})
+	got = stale.Update(Sample{Local: l1, Remote: r1, RemoteOK: true, At: at1, RemoteAt: at1 - qstate.Time(50*time.Millisecond)})
+	if !got.Degraded || !got.RemoteStale {
+		t.Fatalf("stale exchange not flagged: %+v", got)
+	}
+	if !got.Valid || !near(got.LocalView, 50*time.Microsecond) {
+		t.Fatalf("stale exchange fallback wrong: %+v, want valid local-only ~50µs", got)
+	}
+	if stale.DegradedCount() != 1 {
+		t.Fatalf("DegradedCount() = %d, want 1", stale.DegradedCount())
+	}
+
+	// Zero MaxRemoteAge disables the check entirely.
+	lax := Estimator{}
+	lax.Update(Sample{Local: l0, Remote: r0, RemoteOK: true, At: at0, RemoteAt: at0})
+	got = lax.Update(Sample{Local: l1, Remote: r1, RemoteOK: true, At: at1, RemoteAt: 0})
+	if got.Degraded {
+		t.Fatalf("staleness check ran with MaxRemoteAge zero: %+v", got)
+	}
+}
+
+// TestEstimatorResetKeepsConfig: a mid-run Reset (connection reset fault)
+// re-primes but must not wipe MaxRemoteAge — the next connection faces the
+// same network.
+func TestEstimatorResetKeepsConfig(t *testing.T) {
+	e := Estimator{MaxRemoteAge: 7 * time.Millisecond}
+	e.Update(Sample{})
+	e.Reset()
+	if e.MaxRemoteAge != 7*time.Millisecond {
+		t.Fatalf("Reset wiped MaxRemoteAge: %v", e.MaxRemoteAge)
+	}
+	if got := e.Update(Sample{}); got.Valid || got.Degraded {
+		t.Fatalf("first post-reset update not a priming update: %+v", got)
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // SharedEstimator is the concurrency-safe variant of Estimator: the same
 // previous/current sample path behind a mutex, for deployments where the
@@ -37,4 +40,21 @@ func (e *SharedEstimator) Estimates() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.est.Estimates()
+}
+
+// SetMaxRemoteAge configures the staleness bound on the peer's metadata,
+// like setting Estimator.MaxRemoteAge. Safe to call concurrently with
+// Update; the new bound applies from the next update on.
+func (e *SharedEstimator) SetMaxRemoteAge(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.est.MaxRemoteAge = d
+}
+
+// DegradedCount returns how many post-priming updates ran without usable
+// peer metadata.
+func (e *SharedEstimator) DegradedCount() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.est.DegradedCount()
 }

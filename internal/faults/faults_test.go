@@ -1,0 +1,262 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/netem"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/sim"
+	"e2ebatch/internal/tcpsim"
+)
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error; "" means valid
+	}{
+		{"empty", Plan{}, ""},
+		{"loss ok", Plan{Events: []Event{{Kind: LossBurst, Start: ms, Dur: ms, Prob: 0.5}}}, ""},
+		{"loss prob one", Plan{Events: []Event{{Kind: LossBurst, Start: ms, Dur: ms, Prob: 1}}}, "outside [0, 1)"},
+		{"meta drop prob one ok", Plan{Events: []Event{{Kind: MetaDrop, Start: ms, Dur: ms, Prob: 1}}}, ""},
+		{"meta drop prob high", Plan{Events: []Event{{Kind: MetaDrop, Start: ms, Dur: ms, Prob: 1.5}}}, "outside [0, 1]"},
+		{"negative start", Plan{Events: []Event{{Kind: PeerStall, Start: -ms, Dur: ms}}}, "negative start"},
+		{"zero dur", Plan{Events: []Event{{Kind: PeerStall, Start: ms}}}, "non-positive duration"},
+		{"reset needs no dur", Plan{Events: []Event{{Kind: Reset, Start: ms}}}, ""},
+		{"bad kind", Plan{Events: []Event{{Kind: numKinds, Start: ms, Dur: ms}}}, "unknown kind"},
+		{"jitter needs delay", Plan{Events: []Event{{Kind: JitterRamp, Start: ms, Dur: ms}}}, "non-positive delay"},
+		{"dup needs delay", Plan{Events: []Event{{Kind: MetaDup, Start: ms, Dur: ms, Prob: 0.5}}}, "non-positive delay"},
+		{"same-kind overlap", Plan{Events: []Event{
+			{Kind: PeerStall, Start: ms, Dur: 4 * ms},
+			{Kind: PeerStall, Start: 3 * ms, Dur: 4 * ms},
+		}}, "overlapping"},
+		{"same-kind back-to-back ok", Plan{Events: []Event{
+			{Kind: PeerStall, Start: ms, Dur: 2 * ms},
+			{Kind: PeerStall, Start: 3 * ms, Dur: 2 * ms},
+		}}, ""},
+		{"cross-kind overlap ok", Plan{Events: []Event{
+			{Kind: LossBurst, Start: ms, Dur: 4 * ms, Prob: 0.1},
+			{Kind: MetaDrop, Start: ms, Dur: 4 * ms, Prob: 1},
+		}}, ""},
+		{"two resets ok", Plan{Events: []Event{
+			{Kind: Reset, Start: ms},
+			{Kind: Reset, Start: ms},
+		}}, ""},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStandardPlansValidateAndNeedRTO(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Standard(name, 100*time.Millisecond)
+		if err != nil {
+			t.Fatalf("Standard(%q): %v", name, err)
+		}
+		if name == "none" {
+			if p != nil {
+				t.Fatalf("Standard(none) = %+v, want nil", p)
+			}
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Standard(%q) invalid: %v", name, err)
+		}
+		wantRTO := name == "loss" || name == "combo"
+		if p.NeedsRTO() != wantRTO {
+			t.Fatalf("Standard(%q).NeedsRTO() = %v, want %v", name, p.NeedsRTO(), wantRTO)
+		}
+	}
+	if _, err := Standard("bogus", time.Second); err == nil {
+		t.Fatal("unknown plan name accepted")
+	}
+}
+
+func TestLossWindowAppliesAndRestores(t *testing.T) {
+	s := sim.New(1)
+	link := netem.NewLink(s, "l", netem.Config{LossProb: 0.01})
+	plan := &Plan{Name: "t", Events: []Event{
+		{Kind: LossBurst, Start: 10 * time.Millisecond, Dur: 5 * time.Millisecond, Prob: 0.5},
+	}}
+	inj := MustApply(s, plan, Targets{Link: link})
+	s.RunUntil(sim.Time(12 * time.Millisecond))
+	if got := link.AtoB.LossProb(); got != 0.5 {
+		t.Fatalf("mid-window LossProb = %v, want 0.5", got)
+	}
+	if got := link.BtoA.LossProb(); got != 0.5 {
+		t.Fatalf("loss burst missed the reverse direction: %v", got)
+	}
+	s.Run()
+	if got := link.AtoB.LossProb(); got != 0.01 {
+		t.Fatalf("post-window LossProb = %v, want baseline 0.01 restored", got)
+	}
+	if inj.Activations(LossBurst) != 1 {
+		t.Fatalf("Activations(LossBurst) = %d", inj.Activations(LossBurst))
+	}
+}
+
+func TestJitterRampStepsUpAndRestores(t *testing.T) {
+	s := sim.New(1)
+	link := netem.NewLink(s, "l", netem.Config{})
+	peak := 800 * time.Microsecond
+	plan := &Plan{Name: "t", Events: []Event{
+		{Kind: JitterRamp, Start: time.Millisecond, Dur: 8 * time.Millisecond, Delay: peak},
+	}}
+	MustApply(s, plan, Targets{Link: link})
+	var seen []time.Duration
+	last := time.Duration(-1)
+	sim.NewTicker(s, 500*time.Microsecond, func(sim.Time) {
+		if j := link.AtoB.Jitter(); j != last {
+			seen = append(seen, j)
+			last = j
+		}
+	})
+	s.RunUntil(sim.Time(8800 * time.Microsecond)) // just before window end
+	if got := link.AtoB.Jitter(); got != peak {
+		t.Fatalf("end-of-ramp jitter = %v, want peak %v", got, peak)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("ramp went down mid-window: %v", seen)
+		}
+	}
+	if len(seen) < jitterRampSteps {
+		t.Fatalf("saw %d distinct jitter values, want >= %d steps", len(seen), jitterRampSteps)
+	}
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+	if got := link.AtoB.Jitter(); got != 0 {
+		t.Fatalf("post-window jitter = %v, want baseline 0 restored", got)
+	}
+}
+
+func TestMetaWindowsDriveStateFault(t *testing.T) {
+	s := sim.New(3)
+	link := netem.NewLink(s, "l", netem.Config{})
+	plan := &Plan{Name: "t", Events: []Event{
+		{Kind: MetaDrop, Start: time.Millisecond, Dur: time.Millisecond, Prob: 1},
+		{Kind: MetaDelay, Start: 3 * time.Millisecond, Dur: time.Millisecond, Delay: 250 * time.Microsecond},
+		{Kind: MetaDup, Start: 5 * time.Millisecond, Dur: time.Millisecond, Prob: 1, Delay: 100 * time.Microsecond},
+	}}
+	cc, _ := tcpsim.Connect(tcpsim.NewStack(s, "a"), tcpsim.NewStack(s, "b"), link, tcpsim.DefaultConfig())
+	inj := MustApply(s, plan, Targets{Link: link, Client: cc})
+	probe := func() StateProbe {
+		act := inj.stateFault(qstate.WireState{})
+		return StateProbe{Drop: act.Drop, Delay: act.Delay, Dup: act.Duplicate, DupDelay: act.DupDelay}
+	}
+	want := []struct {
+		at   time.Duration
+		want StateProbe
+	}{
+		{500 * time.Microsecond, StateProbe{}},
+		{1500 * time.Microsecond, StateProbe{Drop: true}},
+		{2500 * time.Microsecond, StateProbe{}},
+		{3500 * time.Microsecond, StateProbe{Delay: 250 * time.Microsecond}},
+		{4500 * time.Microsecond, StateProbe{}},
+		{5500 * time.Microsecond, StateProbe{Dup: true, DupDelay: 100 * time.Microsecond}},
+		{6500 * time.Microsecond, StateProbe{}},
+	}
+	for _, w := range want {
+		s.RunUntil(sim.Time(w.at))
+		if got := probe(); got != w.want {
+			t.Fatalf("at %v: stateFault = %+v, want %+v", w.at, got, w.want)
+		}
+	}
+}
+
+// StateProbe flattens a StateFaultAction for comparison.
+type StateProbe struct {
+	Drop     bool
+	Delay    time.Duration
+	Dup      bool
+	DupDelay time.Duration
+}
+
+type fakeStaller struct{ calls []bool }
+
+func (f *fakeStaller) Stall(v bool) { f.calls = append(f.calls, v) }
+
+func TestStallResetAndEventLog(t *testing.T) {
+	s := sim.New(1)
+	st := &fakeStaller{}
+	resets := 0
+	var events []string
+	plan := &Plan{Name: "t", Events: []Event{
+		{Kind: PeerStall, Start: time.Millisecond, Dur: 2 * time.Millisecond},
+		{Kind: Reset, Start: 2 * time.Millisecond},
+	}}
+	MustApply(s, plan, Targets{
+		Staller: st,
+		OnReset: func() { resets++ },
+		OnFault: func(kind, detail string) { events = append(events, kind+" "+detail) },
+	})
+	s.Run()
+	if len(st.calls) != 2 || st.calls[0] != true || st.calls[1] != false {
+		t.Fatalf("staller calls = %v, want [true false]", st.calls)
+	}
+	if resets != 1 {
+		t.Fatalf("resets = %d, want 1", resets)
+	}
+	wantEvents := []string{"peer-stall on dur=2ms", "reset fired", "peer-stall off"}
+	if len(events) != len(wantEvents) {
+		t.Fatalf("events = %v, want %v", events, wantEvents)
+	}
+	for i := range events {
+		if events[i] != wantEvents[i] {
+			t.Fatalf("event %d = %q, want %q", i, events[i], wantEvents[i])
+		}
+	}
+}
+
+// TestSkippedWithoutTargets: a plan needing a missing target skips those
+// events (reporting them) rather than panicking mid-run.
+func TestSkippedWithoutTargets(t *testing.T) {
+	s := sim.New(1)
+	var skipped []string
+	plan := &Plan{Name: "t", Events: []Event{
+		{Kind: LossBurst, Start: time.Millisecond, Dur: time.Millisecond, Prob: 0.1},
+		{Kind: MetaDrop, Start: time.Millisecond, Dur: time.Millisecond, Prob: 1},
+		{Kind: PeerStall, Start: time.Millisecond, Dur: time.Millisecond},
+	}}
+	inj := MustApply(s, plan, Targets{
+		OnFault: func(kind, detail string) {
+			if kind == "skipped" {
+				skipped = append(skipped, detail)
+			}
+		},
+	})
+	s.Run()
+	if len(skipped) != 3 {
+		t.Fatalf("skipped = %v, want all three events skipped", skipped)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if inj.Activations(k) != 0 {
+			t.Fatalf("%v activated without a target", k)
+		}
+	}
+}
+
+// TestApplyRejectsInvalidPlan: Apply validates up front — no events are
+// scheduled from a bad plan.
+func TestApplyRejectsInvalidPlan(t *testing.T) {
+	s := sim.New(1)
+	bad := &Plan{Events: []Event{{Kind: LossBurst, Start: time.Millisecond, Dur: time.Millisecond, Prob: 2}}}
+	if _, err := Apply(s, bad, Targets{}); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events scheduled from a rejected plan", s.Pending())
+	}
+}

@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// Standard returns a named canonical plan scaled to a run of length runDur:
+// every window sits inside the post-warmup region (warmup is runDur/5, per
+// the experiment runner) so the faults hit a settled system. "none" returns
+// nil — a convenience for sweep code that treats the healthy baseline as
+// just another plan name. Unknown names return an error listing the options.
+//
+// The canonical plans (offsets as fractions of runDur):
+//
+//	loss      one LossBurst at 5% for the middle 40%
+//	jitter    one JitterRamp to 200 µs over the middle 40%
+//	metadrop  MetaDrop p=0.9 for the middle 40% — exchanges mostly vanish
+//	metadelay MetaDelay of 2 ms for the middle 40% — exchanges arrive late
+//	metadup   MetaDup p=0.5, replay 1 ms later, middle 40%
+//	stall     PeerStall for 15% starting at 40%
+//	reset     one Reset at the midpoint
+//	combo     loss 5% + MetaDrop p=0.9 overlapping mid-run, then a stall —
+//	          the acceptance scenario: estimator must degrade, policy must
+//	          hold its safe default
+func Standard(name string, runDur time.Duration) (*Plan, error) {
+	frac := func(num, den int64) time.Duration {
+		return time.Duration(int64(runDur) * num / den)
+	}
+	switch name {
+	case "none":
+		return nil, nil
+	case "loss":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: LossBurst, Start: frac(3, 10), Dur: frac(4, 10), Prob: 0.05},
+		}}, nil
+	case "jitter":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: JitterRamp, Start: frac(3, 10), Dur: frac(4, 10), Delay: 200 * time.Microsecond},
+		}}, nil
+	case "metadrop":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: MetaDrop, Start: frac(3, 10), Dur: frac(4, 10), Prob: 0.9},
+		}}, nil
+	case "metadelay":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: MetaDelay, Start: frac(3, 10), Dur: frac(4, 10), Delay: 2 * time.Millisecond},
+		}}, nil
+	case "metadup":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: MetaDup, Start: frac(3, 10), Dur: frac(4, 10), Prob: 0.5, Delay: time.Millisecond},
+		}}, nil
+	case "stall":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: PeerStall, Start: frac(4, 10), Dur: frac(15, 100)},
+		}}, nil
+	case "reset":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: Reset, Start: frac(1, 2)},
+		}}, nil
+	case "combo":
+		return &Plan{Name: name, Events: []Event{
+			{Kind: LossBurst, Start: frac(3, 10), Dur: frac(4, 10), Prob: 0.05},
+			{Kind: MetaDrop, Start: frac(3, 10), Dur: frac(4, 10), Prob: 0.9},
+			{Kind: PeerStall, Start: frac(75, 100), Dur: frac(1, 10)},
+		}}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown plan %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the Standard plan names, baseline first.
+func Names() []string {
+	return []string{"none", "loss", "jitter", "metadrop", "metadelay", "metadup", "stall", "reset", "combo"}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"e2ebatch/internal/core"
+	"e2ebatch/internal/faults"
 	"e2ebatch/internal/hints"
 	"e2ebatch/internal/kv"
 	"e2ebatch/internal/loadgen"
@@ -25,24 +26,32 @@ type DynamicSpec struct {
 	Initial   policy.Mode
 	// UseUCB selects the UCB1 bandit controller instead of ε-greedy.
 	UseUCB bool
+	// MaxRemoteAge bounds the age of the peer's metadata before the
+	// estimator degrades to the local-only view (core.Estimator). Zero
+	// disables the staleness check.
+	MaxRemoteAge time.Duration
 }
 
 // modeController abstracts the two bandit controllers (ε-greedy, UCB1).
 type modeController interface {
 	Observe(latency time.Duration, throughput float64, valid bool) policy.Mode
+	ObserveDegraded() policy.Mode
 	Mode() policy.Mode
 	Stats() policy.TogglerStats
 }
 
 // DefaultDynamicSpec returns the toggling setup used by the experiments: a
-// 1 ms tick with the paper's throughput-under-SLO objective.
+// 1 ms tick with the paper's throughput-under-SLO objective. The 5 ms
+// staleness bound tolerates a few missed exchange opportunities at the tick
+// rate before the estimator declares the peer's view stale.
 func DefaultDynamicSpec(slo time.Duration) *DynamicSpec {
 	return &DynamicSpec{
-		Interval:  time.Millisecond,
-		Objective: policy.ThroughputUnderSLO{SLO: slo},
-		Toggler:   policy.DefaultTogglerConfig(),
-		Unit:      tcpsim.UnitBytes,
-		Initial:   policy.BatchOff,
+		Interval:     time.Millisecond,
+		Objective:    policy.ThroughputUnderSLO{SLO: slo},
+		Toggler:      policy.DefaultTogglerConfig(),
+		Unit:         tcpsim.UnitBytes,
+		Initial:      policy.BatchOff,
+		MaxRemoteAge: 5 * time.Millisecond,
 	}
 }
 
@@ -110,6 +119,10 @@ type RunSpec struct {
 	// policy, accumulating OnlineAvg/OnlineCount — used by the §5
 	// exchange-frequency ablation.
 	OnlineEstimateEvery time.Duration
+
+	// Faults schedules a fault-injection plan against the run (package
+	// faults). Loss windows force an RTO, exactly as LossProb does.
+	Faults *faults.Plan
 }
 
 // RunOut collects everything a figure needs from one run.
@@ -139,6 +152,11 @@ type RunOut struct {
 	// and OnlineCount their number (OnlineEstimateEvery runs).
 	OnlineAvg   time.Duration
 	OnlineCount int
+
+	// DegradedTicks counts Dynamic decision ticks whose estimate ran
+	// without usable peer metadata; TotalTicks is all decision ticks.
+	DegradedTicks int
+	TotalTicks    int
 }
 
 // Run executes one experiment run and returns its outputs.
@@ -166,7 +184,7 @@ func Run(spec RunSpec) *RunOut {
 	}
 	link := netem.NewLink(s, "wire", linkCfg)
 	tcpCfg := cal.TCP
-	if spec.LossProb > 0 && tcpCfg.RTO == 0 {
+	if (spec.LossProb > 0 || spec.Faults.NeedsRTO()) && tcpCfg.RTO == 0 {
 		tcpCfg.RTO = 5 * time.Millisecond
 	}
 	tcpCfg.Nagle = spec.BatchOn && spec.Dynamic == nil && spec.AIMD == nil
@@ -249,18 +267,29 @@ func Run(spec RunSpec) *RunOut {
 		} else {
 			tog = policy.NewToggler(d.Objective, d.Toggler, d.Initial, s.Rand())
 		}
+		est.MaxRemoteAge = d.MaxRemoteAge
 		applyMode(d.Initial)
-		sim.NewTicker(s, d.Interval, func(sim.Time) {
+		sim.NewTicker(s, d.Interval, func(now sim.Time) {
 			ua, ur, ad := cc.Snapshots(d.Unit)
-			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
-			if ws, _, ok := cc.PeerWireState(); ok {
+			sample := core.Sample{
+				Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad},
+				At:    qstate.Time(now),
+			}
+			if ws, at, ok := cc.PeerWireState(); ok {
 				sample.Remote, sample.RemoteOK = ws, true
+				sample.RemoteAt = qstate.Time(at)
 			}
 			e := est.Update(sample)
 			if e.Valid {
 				out.OnlineEstimates++
 			}
-			m := tog.Observe(e.Latency, e.Throughput, e.Valid)
+			var m policy.Mode
+			if e.Degraded {
+				out.DegradedTicks++
+				m = tog.ObserveDegraded()
+			} else {
+				m = tog.Observe(e.Latency, e.Throughput, e.Valid)
+			}
 			applyMode(m)
 			totalTicks++
 			if m == policy.BatchOn {
@@ -311,6 +340,21 @@ func Run(spec RunSpec) *RunOut {
 		})
 	}
 
+	if spec.Faults != nil {
+		// Plans are validated up front; a bad plan is a spec bug, like an
+		// out-of-range netem config.
+		faults.MustApply(s, spec.Faults, faults.Targets{
+			Link:    link,
+			Client:  cc,
+			Staller: srv,
+			// A reset invalidates the counter history on both sides of
+			// the exchange: re-prime the estimator rather than let it
+			// difference across the discontinuity.
+			OnReset: func() { est.Reset() },
+			OnFault: func(kind, detail string) { col.Log().AddEvent(s.Now(), kind, detail) },
+		})
+	}
+
 	out.Res = gen.Run()
 	col.Stop()
 	out.Log = col.Log()
@@ -330,6 +374,7 @@ func Run(spec RunSpec) *RunOut {
 	out.ServerStats = srv.Stats()
 	out.ClientConn = cc.Stats()
 	out.ServerConn = sc.Stats()
+	out.TotalTicks = totalTicks
 	if tog != nil {
 		out.TogglerStats = tog.Stats()
 		out.FinalMode = tog.Mode()

@@ -48,6 +48,7 @@ type SimServer struct {
 	parser  resp.Parser
 	pending []resp.Value
 	busy    bool
+	stalled bool
 
 	stats SimServerStats
 }
@@ -65,10 +66,23 @@ func (s *SimServer) Stats() SimServerStats { return s.stats }
 // Engine returns the command engine.
 func (s *SimServer) Engine() *Engine { return s.engine }
 
+// Stall freezes (true) or resumes (false) the server application's socket
+// draining — the reader-stall fault: a stalled peer lets *unread* pile up
+// until the advertised window closes, which is exactly the backpressure
+// scenario the paper's unread-queue term measures. Resuming immediately
+// drains whatever accumulated.
+func (s *SimServer) Stall(v bool) {
+	s.stalled = v
+	if !v && s.conn.Readable() > 0 {
+		s.wake()
+	}
+}
+
 // wake is the epoll-readable event: start a read cycle unless one is
-// already running (in which case the running cycle will re-check).
+// already running (in which case the running cycle will re-check) or the
+// application is stalled (Stall(false) will re-check).
 func (s *SimServer) wake() {
-	if s.busy {
+	if s.busy || s.stalled {
 		return
 	}
 	s.busy = true

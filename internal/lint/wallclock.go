@@ -14,6 +14,7 @@ var simOnlyPackages = []string{
 	"e2ebatch/internal/tcpsim",
 	"e2ebatch/internal/figures",
 	"e2ebatch/internal/analytic",
+	"e2ebatch/internal/faults",
 }
 
 // WallClock flags time.Now / time.Since / time.Until inside the

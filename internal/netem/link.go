@@ -58,15 +58,45 @@ type Pipe struct {
 	dropped uint64
 }
 
+// checkLossProb panics unless p is a valid drop probability. The valid range
+// is [0, 1): probability 1 would drop every packet, which no amount of
+// retransmission recovers from — a disconnected wire is a topology choice,
+// not a loss parameter.
+func checkLossProb(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netem: LossProb %v outside [0, 1)", p))
+	}
+}
+
 // NewPipe returns one direction of a link.
 func NewPipe(s *sim.Sim, name string, cfg Config) *Pipe {
-	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
-		if cfg.LossProb != 0 {
-			panic("netem: LossProb must be in [0, 1)")
-		}
-	}
+	checkLossProb(cfg.LossProb)
 	return &Pipe{sim: s, name: name, cfg: cfg}
 }
+
+// SetLossProb changes the drop probability at runtime — the fault-injection
+// knob for loss bursts. It panics outside [0, 1), like NewPipe.
+func (p *Pipe) SetLossProb(prob float64) {
+	checkLossProb(prob)
+	p.cfg.LossProb = prob
+}
+
+// LossProb returns the current drop probability.
+func (p *Pipe) LossProb() float64 { return p.cfg.LossProb }
+
+// SetJitter changes the per-packet jitter bound at runtime — the
+// fault-injection knob for jitter ramps. Negative values clamp to zero.
+// Jittered arrivals remain FIFO-clamped (see Send), so raising jitter never
+// reorders the wire.
+func (p *Pipe) SetJitter(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.cfg.Jitter = d
+}
+
+// Jitter returns the current jitter bound.
+func (p *Pipe) Jitter() time.Duration { return p.cfg.Jitter }
 
 // Send enqueues a packet of size bytes. deliver runs at the packet's arrival
 // time at the far end; it is not called if the packet is dropped. Send
@@ -141,4 +171,16 @@ func NewLink(s *sim.Sim, name string, cfg Config) *Link {
 		AtoB: NewPipe(s, name+":a->b", cfg),
 		BtoA: NewPipe(s, name+":b->a", cfg),
 	}
+}
+
+// SetLossProb applies a drop probability to both directions.
+func (l *Link) SetLossProb(p float64) {
+	l.AtoB.SetLossProb(p)
+	l.BtoA.SetLossProb(p)
+}
+
+// SetJitter applies a jitter bound to both directions.
+func (l *Link) SetJitter(d time.Duration) {
+	l.AtoB.SetJitter(d)
+	l.BtoA.SetJitter(d)
 }

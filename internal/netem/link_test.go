@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -111,14 +112,74 @@ func TestLossDropsAndNeverDelivers(t *testing.T) {
 	}
 }
 
-func TestInvalidLossProbPanics(t *testing.T) {
+// TestLossProbBoundaries pins the valid range [0, 1) exactly: both
+// boundaries, both sides of each, and the same contract on the runtime
+// knob. LossProb == 1 in particular used to reach the panic only through a
+// convoluted double branch — it must reject like any other out-of-range
+// value.
+func TestLossProbBoundaries(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
 	s := sim.New(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("LossProb >= 1 did not panic")
-		}
-	}()
-	NewPipe(s, "t", Config{LossProb: 1.5})
+	for _, p := range []float64{0, 1e-12, 0.5, 1 - 1e-12} {
+		NewPipe(s, "ok", Config{LossProb: p}) // must not panic
+	}
+	for _, p := range []float64{-1e-12, -0.5, 1, 1.5} {
+		p := p
+		mustPanic(fmt.Sprintf("NewPipe(LossProb=%v)", p), func() {
+			NewPipe(s, "bad", Config{LossProb: p})
+		})
+	}
+	pipe := NewPipe(s, "knob", Config{})
+	pipe.SetLossProb(0.25)
+	if pipe.LossProb() != 0.25 {
+		t.Fatalf("LossProb = %v after SetLossProb(0.25)", pipe.LossProb())
+	}
+	mustPanic("SetLossProb(1)", func() { pipe.SetLossProb(1) })
+	mustPanic("SetLossProb(-0.1)", func() { pipe.SetLossProb(-0.1) })
+	if pipe.LossProb() != 0.25 {
+		t.Fatalf("rejected SetLossProb mutated the pipe: %v", pipe.LossProb())
+	}
+}
+
+// TestRuntimeKnobsAffectTraffic: loss and jitter set mid-run via the Link
+// setters take effect and restore cleanly.
+func TestRuntimeKnobsAffectTraffic(t *testing.T) {
+	s := sim.New(5)
+	l := NewLink(s, "lnk", Config{Propagation: 100 * time.Nanosecond})
+	delivered := 0
+	for i := 0; i < 50; i++ {
+		l.AtoB.Send(10, func() { delivered++ })
+	}
+	s.Run()
+	if delivered != 50 {
+		t.Fatalf("lossless phase delivered %d/50", delivered)
+	}
+	l.SetLossProb(1 - 1e-12)
+	for i := 0; i < 50; i++ {
+		l.AtoB.Send(10, func() { delivered++ })
+	}
+	s.Run()
+	_, _, dr := l.AtoB.Stats()
+	if dr == 0 {
+		t.Fatal("no drops after SetLossProb")
+	}
+	l.SetLossProb(0)
+	l.SetJitter(time.Microsecond)
+	if l.AtoB.Jitter() != time.Microsecond || l.BtoA.Jitter() != time.Microsecond {
+		t.Fatal("SetJitter did not reach both pipes")
+	}
+	l.SetJitter(-time.Second)
+	if l.AtoB.Jitter() != 0 {
+		t.Fatalf("negative jitter not clamped: %v", l.AtoB.Jitter())
+	}
 }
 
 func TestJitterAddsBoundedDelay(t *testing.T) {

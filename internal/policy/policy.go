@@ -112,6 +112,17 @@ type TogglerConfig struct {
 	// after a switch the estimate still reflects the previous mode's
 	// backlog and would poison the new mode's score.
 	SkipAfterSwitch int
+	// SafeMode is the mode the toggler retreats to while the estimator is
+	// degraded (see ObserveDegraded). The zero value, BatchOff, is the
+	// conservative choice: without trustworthy latency estimates the
+	// toggler cannot tell whether batching's hold delay is violating the
+	// SLO, so it stops holding messages.
+	SafeMode Mode
+	// DegradedAfter is how many consecutive degraded observations the
+	// toggler tolerates before retreating to SafeMode. A short run of
+	// degraded ticks is normal (one dropped metadata exchange); a long run
+	// means the peer's view is gone. Zero retreats on the first one.
+	DegradedAfter int
 }
 
 // DefaultTogglerConfig returns the parameters used by the experiments.
@@ -119,6 +130,7 @@ func DefaultTogglerConfig() TogglerConfig {
 	return TogglerConfig{
 		Epsilon: 0.05, EpsilonDecay: 0.01, Alpha: 0.3, MinSamples: 3, Hysteresis: 0.05,
 		HoldTicks: 5, SkipAfterSwitch: 2,
+		SafeMode: BatchOff, DegradedAfter: 3,
 	}
 }
 
@@ -141,8 +153,9 @@ type Toggler struct {
 	score   [2]*metrics.EWMA
 	samples [2]int
 
-	holdLeft int
-	skipLeft int
+	holdLeft    int
+	skipLeft    int
+	degradedRun int
 
 	stats TogglerStats
 }
@@ -153,6 +166,10 @@ type TogglerStats struct {
 	Switches     uint64
 	Explorations uint64
 	Invalid      uint64
+	// Degraded counts ObserveDegraded calls; SafeFallbacks counts the
+	// times a degraded run actually forced a retreat to SafeMode.
+	Degraded      uint64
+	SafeFallbacks uint64
 }
 
 // NewToggler returns a toggler starting in initial mode. rng must be
@@ -213,6 +230,7 @@ func (t *Toggler) Observe(latency time.Duration, throughput float64, valid bool)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Decisions++
+	t.degradedRun = 0
 	switch {
 	case t.skipLeft > 0:
 		t.skipLeft--
@@ -246,6 +264,30 @@ func (t *Toggler) Observe(latency time.Duration, throughput float64, valid bool)
 	if next != t.mode {
 		t.stats.Switches++
 		t.mode = next
+		t.holdLeft = t.cfg.HoldTicks
+		t.skipLeft = t.cfg.SkipAfterSwitch
+	}
+	return t.mode
+}
+
+// ObserveDegraded is the decision tick for intervals where the estimate was
+// degraded (peer metadata missing or stale, Estimate.Degraded). A degraded
+// estimate reflects only the local half of the paper's §3.2 formula, so it
+// must not train the per-mode scores, and exploring on top of it would mean
+// switching modes while blind. Instead the toggler freezes: scores and
+// exploration are untouched, and after DegradedAfter consecutive degraded
+// ticks it retreats to SafeMode and holds there until trustworthy estimates
+// return via Observe (which resets the run).
+func (t *Toggler) ObserveDegraded() Mode {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Decisions++
+	t.stats.Degraded++
+	t.degradedRun++
+	if t.degradedRun > t.cfg.DegradedAfter && t.mode != t.cfg.SafeMode {
+		t.stats.SafeFallbacks++
+		t.stats.Switches++
+		t.mode = t.cfg.SafeMode
 		t.holdLeft = t.cfg.HoldTicks
 		t.skipLeft = t.cfg.SkipAfterSwitch
 	}

@@ -310,3 +310,72 @@ func TestAIMDPanicsOnBadParams(t *testing.T) {
 		}()
 	}
 }
+
+// TestTogglerDegradedFallback: degraded ticks freeze learning, and after
+// more than DegradedAfter consecutive ones the toggler retreats to SafeMode
+// and stays there until trustworthy estimates resume.
+func TestTogglerDegradedFallback(t *testing.T) {
+	cfg := TogglerConfig{
+		Epsilon: 0, Alpha: 0.3, MinSamples: 3,
+		SafeMode: BatchOff, DegradedAfter: 3,
+	}
+	tog := NewToggler(PreferThroughput{}, cfg, BatchOn, rand.New(rand.NewSource(3)))
+	_, trustedBefore := tog.Score(BatchOn)
+	for i := 0; i < 3; i++ {
+		if m := tog.ObserveDegraded(); m != BatchOn {
+			t.Fatalf("degraded tick %d switched early to %v", i, m)
+		}
+	}
+	if m := tog.ObserveDegraded(); m != BatchOff {
+		t.Fatalf("tolerance exceeded but mode = %v, want safe BatchOff", m)
+	}
+	st := tog.Stats()
+	if st.Degraded != 4 || st.SafeFallbacks != 1 {
+		t.Fatalf("stats = %+v, want Degraded 4, SafeFallbacks 1", st)
+	}
+	if _, trusted := tog.Score(BatchOn); trusted != trustedBefore {
+		t.Fatal("degraded ticks trained the mode scores")
+	}
+	// Further degraded ticks hold the safe mode without new fallbacks.
+	for i := 0; i < 5; i++ {
+		if m := tog.ObserveDegraded(); m != BatchOff {
+			t.Fatalf("safe mode not held: %v", m)
+		}
+	}
+	if st := tog.Stats(); st.SafeFallbacks != 1 {
+		t.Fatalf("SafeFallbacks = %d after holding, want 1", st.SafeFallbacks)
+	}
+}
+
+// TestTogglerDegradedRunResets: a healthy Observe between degraded ticks
+// restarts the tolerance window, so scattered single drops never force the
+// safe fallback.
+func TestTogglerDegradedRunResets(t *testing.T) {
+	cfg := TogglerConfig{
+		Epsilon: 0, Alpha: 0.3, MinSamples: 100, // MinSamples high: no score-driven switch
+		SafeMode: BatchOff, DegradedAfter: 3,
+	}
+	tog := NewToggler(PreferThroughput{}, cfg, BatchOn, rand.New(rand.NewSource(4)))
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			tog.ObserveDegraded()
+		}
+		tog.Observe(time.Millisecond, 1000, true)
+	}
+	if m := tog.Mode(); m != BatchOn {
+		t.Fatalf("scattered degraded ticks forced fallback to %v", m)
+	}
+	if st := tog.Stats(); st.SafeFallbacks != 0 {
+		t.Fatalf("SafeFallbacks = %d, want 0", st.SafeFallbacks)
+	}
+}
+
+// TestTogglerDegradedAfterZero: zero tolerance retreats on the first
+// degraded tick.
+func TestTogglerDegradedAfterZero(t *testing.T) {
+	cfg := TogglerConfig{Epsilon: 0, Alpha: 0.3, SafeMode: BatchOff}
+	tog := NewToggler(PreferThroughput{}, cfg, BatchOn, rand.New(rand.NewSource(5)))
+	if m := tog.ObserveDegraded(); m != BatchOff {
+		t.Fatalf("mode = %v, want immediate safe fallback", m)
+	}
+}

@@ -42,21 +42,29 @@ type UCBToggler struct {
 	holdTicks, skipAfter int
 	holdLeft, skipLeft   int
 
+	safeMode      Mode
+	degradedAfter int
+	degradedRun   int
+
 	stats TogglerStats
 }
 
-// NewUCBToggler returns a UCB1 controller starting in initial mode.
+// NewUCBToggler returns a UCB1 controller starting in initial mode. The
+// degraded-input policy matches DefaultTogglerConfig: retreat to BatchOff
+// after more than three consecutive degraded ticks.
 func NewUCBToggler(obj Objective, initial Mode) *UCBToggler {
 	if obj == nil {
 		panic("policy: nil objective")
 	}
 	return &UCBToggler{
-		obj:       obj,
-		mode:      initial,
-		c:         math.Sqrt2,
-		score:     [2]*metrics.EWMA{metrics.NewEWMA(0.3), metrics.NewEWMA(0.3)},
-		holdTicks: 5,
-		skipAfter: 2,
+		obj:           obj,
+		mode:          initial,
+		c:             math.Sqrt2,
+		score:         [2]*metrics.EWMA{metrics.NewEWMA(0.3), metrics.NewEWMA(0.3)},
+		holdTicks:     5,
+		skipAfter:     2,
+		safeMode:      BatchOff,
+		degradedAfter: 3,
 	}
 }
 
@@ -80,6 +88,7 @@ func (u *UCBToggler) Observe(latency time.Duration, throughput float64, valid bo
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.stats.Decisions++
+	u.degradedRun = 0
 	switch {
 	case u.skipLeft > 0:
 		u.skipLeft--
@@ -122,6 +131,26 @@ func (u *UCBToggler) Observe(latency time.Duration, throughput float64, valid bo
 	if next != u.mode {
 		u.stats.Switches++
 		u.mode = next
+		u.holdLeft = u.holdTicks
+		u.skipLeft = u.skipAfter
+	}
+	return u.mode
+}
+
+// ObserveDegraded is the decision tick for degraded-estimate intervals,
+// mirroring Toggler.ObserveDegraded: no score updates, no UCB probing (the
+// bandit must not spend plays on unmeasurable arms), and a retreat to the
+// safe mode once the degraded run exceeds the tolerance.
+func (u *UCBToggler) ObserveDegraded() Mode {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.stats.Decisions++
+	u.stats.Degraded++
+	u.degradedRun++
+	if u.degradedRun > u.degradedAfter && u.mode != u.safeMode {
+		u.stats.SafeFallbacks++
+		u.stats.Switches++
+		u.mode = u.safeMode
 		u.holdLeft = u.holdTicks
 		u.skipLeft = u.skipAfter
 	}

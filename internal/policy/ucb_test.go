@@ -83,3 +83,35 @@ func TestUCBNilObjectivePanics(t *testing.T) {
 	}()
 	NewUCBToggler(nil, BatchOff)
 }
+
+// TestUCBObserveDegraded mirrors the ε-greedy fallback contract: no plays
+// spent on unmeasurable arms, retreat to batch-off after the tolerance.
+func TestUCBObserveDegraded(t *testing.T) {
+	u := NewUCBToggler(PreferThroughput{}, BatchOn)
+	for i := 0; i < 3; i++ {
+		if m := u.ObserveDegraded(); m != BatchOn {
+			t.Fatalf("degraded tick %d switched early to %v", i, m)
+		}
+	}
+	if m := u.ObserveDegraded(); m != BatchOff {
+		t.Fatalf("tolerance exceeded but mode = %v", m)
+	}
+	st := u.Stats()
+	if st.Degraded != 4 || st.SafeFallbacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if u.plays[BatchOn] != 0 || u.plays[BatchOff] != 0 {
+		t.Fatalf("degraded ticks consumed bandit plays: %v", u.plays)
+	}
+	// A healthy observation resets the run.
+	u2 := NewUCBToggler(PreferThroughput{}, BatchOn)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			u2.ObserveDegraded()
+		}
+		u2.Observe(time.Millisecond, 1000, true)
+	}
+	if st := u2.Stats(); st.SafeFallbacks != 0 {
+		t.Fatalf("scattered degraded ticks forced fallback: %+v", st)
+	}
+}

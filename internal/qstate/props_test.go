@@ -1,6 +1,7 @@
 package qstate
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -161,5 +162,73 @@ func TestWireAvgsZeroIntervalSnapshots(t *testing.T) {
 	}
 	if a := WireAvgs(WireQueue{TimeUS: 9, Total: 1, IntegralUS: 1}, WireQueue{TimeUS: 9, Total: 2, IntegralUS: 5}); a.Valid {
 		t.Fatal("time-frozen pair with moving counters reported valid")
+	}
+}
+
+// checkAvgsSane rejects the garbage classes a fault can smuggle into an
+// Avgs: NaN/Inf ratios, negative latencies or rates, and invalid results
+// that nonetheless carry a latency.
+func checkAvgsSane(t *testing.T, ctx string, a Avgs) {
+	t.Helper()
+	if math.IsNaN(a.Q) || math.IsInf(a.Q, 0) || math.IsNaN(a.Throughput) || math.IsInf(a.Throughput, 0) {
+		t.Fatalf("%s: non-finite averages %+v", ctx, a)
+	}
+	if a.Q < 0 || a.Throughput < 0 || a.Latency < 0 || a.Elapsed < 0 || a.Departures < 0 {
+		t.Fatalf("%s: negative averages %+v", ctx, a)
+	}
+	if !a.Valid && a.Latency != 0 {
+		t.Fatalf("%s: invalid result carries latency %v", ctx, a.Latency)
+	}
+}
+
+// TestPropertyAvgsNeverGarbage: over arbitrary ordered snapshot pairs drawn
+// from randomized schedules — zero-departure intervals, identical pairs,
+// and wire pairs whose 32-bit counters wrap mid-interval — neither GetAvgs
+// nor WireAvgs ever yields NaN, a negative latency, or a negative rate.
+// This is the estimator's last line of defense under fault injection: a
+// dropped, delayed, or replayed exchange may make an interval *invalid*,
+// but never numerically toxic.
+func TestPropertyAvgsNeverGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	starts := []Time{
+		0,
+		Time((int64(1)<<32 - 20_000) * 1000), // wire counters wrap mid-run
+	}
+	for _, start := range starts {
+		for trial := 0; trial < 40; trial++ {
+			var s State
+			s.Init(start)
+			now := start
+			snaps := []Snapshot{s.Peek()}
+			for i := 0; i < 150; i++ {
+				now += Time(1000 * (1 + rng.Int63n(500)))
+				switch {
+				case s.Size > 0 && rng.Intn(3) == 0:
+					s.Track(now, -(1 + rng.Int63n(s.Size)))
+				case rng.Intn(4) == 0:
+					s.Track(now, 0) // integral advance only: zero-departure interval
+				default:
+					s.Track(now, 1+rng.Int63n(4))
+				}
+				snaps = append(snaps, s.Peek())
+			}
+			for k := 0; k < 300; k++ {
+				i := rng.Intn(len(snaps))
+				j := i + rng.Intn(len(snaps)-i)
+				ctx := fmt.Sprintf("start %v trial %d pair (%d,%d)", start, trial, i, j)
+				checkAvgsSane(t, "exact "+ctx, GetAvgs(snaps[i], snaps[j]))
+				checkAvgsSane(t, "wire "+ctx, WireAvgs(ToWire(snaps[i]), ToWire(snaps[j])))
+				// Reversed order models a reordered exchange: the wire
+				// form must reject it, never mint a negative interval.
+				checkAvgsSane(t, "wire-rev "+ctx, WireAvgs(ToWire(snaps[j]), ToWire(snaps[i])))
+			}
+		}
+	}
+	// Fully arbitrary wire pairs — the counters need not come from any
+	// consistent schedule at all (corrupted or mismatched exchange).
+	for k := 0; k < 5000; k++ {
+		prev := WireQueue{TimeUS: uint32(rng.Uint32()), Total: uint32(rng.Uint32()), IntegralUS: uint32(rng.Uint32())}
+		now := WireQueue{TimeUS: uint32(rng.Uint32()), Total: uint32(rng.Uint32()), IntegralUS: uint32(rng.Uint32())}
+		checkAvgsSane(t, fmt.Sprintf("arbitrary pair %d", k), WireAvgs(prev, now))
 	}
 }

@@ -29,9 +29,10 @@ type Server struct {
 	mu     sync.Mutex
 	engine *kv.Engine
 
-	wg       sync.WaitGroup
-	listener net.Listener // guarded by connMu: Serve publishes, Close reads
-	closed   chan struct{}
+	wg        sync.WaitGroup
+	listener  net.Listener // guarded by connMu: Serve publishes, Close reads
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	connMu sync.Mutex // guards conns and listener
 	conns  map[net.Conn]struct{}
@@ -92,10 +93,20 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// DropConnections abruptly closes every active connection while continuing
+// to accept new ones — the connection-reset fault for loopback tests.
+func (s *Server) DropConnections() {
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+}
+
 // Close stops accepting, closes active connections, and waits for their
-// handlers to finish.
+// handlers to finish. It is idempotent.
 func (s *Server) Close() {
-	close(s.closed)
+	s.closeOnce.Do(func() { close(s.closed) })
 	s.connMu.Lock()
 	if s.listener != nil {
 		s.listener.Close()
@@ -157,10 +168,11 @@ func (s *Server) handle(conn net.Conn) {
 // paper's userspace instrumentation: a hints.Tracker fed by create/complete
 // around every request, from which live Little's-law estimates are drawn.
 type Client struct {
-	conn    *net.TCPConn
-	tracker *hints.Tracker
-	est     *hints.Estimator
-	start   time.Time
+	conn        *net.TCPConn
+	tracker     *hints.Tracker
+	est         *hints.Estimator
+	start       time.Time
+	readTimeout time.Duration
 
 	mu      sync.Mutex
 	writeMu sync.Mutex
@@ -176,13 +188,33 @@ type Client struct {
 	nodelay bool
 }
 
+// DialOptions tune a client's failure behaviour. The zero value matches the
+// historical Dial: unbounded blocking on both connect and read.
+type DialOptions struct {
+	// MaxInflight bounds pipelining depth (<= 0: 1024).
+	MaxInflight int
+	// DialTimeout bounds the connect; zero blocks indefinitely.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each read in the response loop; a read that
+	// exceeds it fails the client (the reconnect layer then redials).
+	// Zero blocks indefinitely — correct only against a server that
+	// cannot hang.
+	ReadTimeout time.Duration
+}
+
 // Dial connects to a mini-Redis server and starts the response reader.
 // maxInflight bounds pipelining depth.
 func Dial(addr string, maxInflight int) (*Client, error) {
-	if maxInflight <= 0 {
-		maxInflight = 1024
+	return DialWith(addr, DialOptions{MaxInflight: maxInflight})
+}
+
+// DialWith is Dial with explicit failure-handling options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 1024
 	}
-	nc, err := net.Dial("tcp", addr)
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -192,11 +224,12 @@ func Dial(addr string, maxInflight int) (*Client, error) {
 		return nil, errors.New("realtcp: not a TCP connection")
 	}
 	c := &Client{
-		conn:     tc,
-		start:    time.Now(),
-		inflight: make(chan time.Time, maxInflight),
-		done:     make(chan struct{}),
-		nodelay:  true, // Go's net package default
+		conn:        tc,
+		start:       time.Now(),
+		readTimeout: opts.ReadTimeout,
+		inflight:    make(chan time.Time, opts.MaxInflight),
+		done:        make(chan struct{}),
+		nodelay:     true, // Go's net package default
 	}
 	c.tracker = hints.NewTracker(func() qstate.Time { return qstate.Time(time.Since(c.start)) })
 	c.est = hints.NewEstimator(c.tracker)
@@ -300,6 +333,12 @@ func (c *Client) readLoop() {
 	var parser resp.Parser
 	buf := make([]byte, 64<<10)
 	for {
+		if c.readTimeout > 0 {
+			if err := c.conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+				c.fail(err)
+				return
+			}
+		}
 		n, err := c.conn.Read(buf)
 		if n > 0 {
 			parser.Feed(buf[:n])
@@ -327,6 +366,13 @@ func (c *Client) readLoop() {
 			}
 		}
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && c.tracker.Outstanding() == 0 {
+				// An idle deadline expiry is not a fault: no response is
+				// owed. Only a timeout with requests outstanding means
+				// the server stopped answering.
+				continue
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				c.fail(err)
 			}

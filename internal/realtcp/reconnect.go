@@ -1,0 +1,172 @@
+package realtcp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"e2ebatch/internal/qstate"
+)
+
+// ReconnectConfig parameterizes the self-healing client wrapper.
+type ReconnectConfig struct {
+	// MaxInflight, DialTimeout and ReadTimeout pass through to DialWith
+	// for every (re)connection.
+	MaxInflight int
+	DialTimeout time.Duration
+	ReadTimeout time.Duration
+	// BackoffBase is the delay before the first redial attempt; each
+	// further attempt doubles it, capped at BackoffMax. Zeroes default to
+	// 10 ms and 1 s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxAttempts bounds consecutive failed redials before giving up
+	// (<= 0: 8).
+	MaxAttempts int
+}
+
+func (c *ReconnectConfig) fill() {
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = c.BackoffBase
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+}
+
+// Reconnector wraps a Client with connection-reset recovery: when the
+// underlying connection dies it redials with bounded exponential backoff
+// and starts a fresh Client. A fresh Client means fresh userspace counters
+// and a re-primed estimator — the counter resync a reset demands, since
+// Little's-law integrals must not be differenced across the discontinuity
+// (requests in flight at the reset are gone; their completions will never
+// arrive).
+type Reconnector struct {
+	addr string
+	cfg  ReconnectConfig
+
+	mu     sync.Mutex
+	client *Client
+	resets uint64
+	closed bool
+}
+
+// DialReconnect connects once (so startup failures surface immediately)
+// and returns the self-healing wrapper.
+func DialReconnect(addr string, cfg ReconnectConfig) (*Reconnector, error) {
+	cfg.fill()
+	r := &Reconnector{addr: addr, cfg: cfg}
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	r.client = c
+	return r, nil
+}
+
+func (r *Reconnector) dial() (*Client, error) {
+	return DialWith(r.addr, DialOptions{
+		MaxInflight: r.cfg.MaxInflight,
+		DialTimeout: r.cfg.DialTimeout,
+		ReadTimeout: r.cfg.ReadTimeout,
+	})
+}
+
+// Resets returns how many reconnections have succeeded.
+func (r *Reconnector) Resets() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resets
+}
+
+// Client returns the current underlying client (for instrumentation; it may
+// be replaced by any concurrent Do).
+func (r *Reconnector) Client() *Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client
+}
+
+// Estimate samples the current connection's Little's-law averages. After a
+// reconnect the averages restart from the fresh connection's counters.
+func (r *Reconnector) Estimate() qstate.Avgs {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client.Estimate()
+}
+
+// Do issues one request, reconnecting and retrying it once on a dead
+// connection. Other requests lost with the old connection are not replayed,
+// and the retried command re-executes if the original reached the server
+// before the reset — the usual at-least-once caveat of retry-on-reconnect;
+// fine for the idempotent GET/SET workloads here.
+func (r *Reconnector) Do(cmd []byte) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("realtcp: reconnector closed")
+	}
+	c := r.client
+	r.mu.Unlock()
+	if err := c.Do(cmd); err == nil {
+		return nil
+	}
+	if err := r.reconnect(c); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	c = r.client
+	r.mu.Unlock()
+	return c.Do(cmd)
+}
+
+// reconnect replaces dead (the client the caller observed failing) with a
+// fresh connection, unless a concurrent caller already did.
+func (r *Reconnector) reconnect(dead *Client) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("realtcp: reconnector closed")
+	}
+	if r.client != dead {
+		return nil // someone else already replaced it
+	}
+	dead.Close()
+	backoff := r.cfg.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > r.cfg.BackoffMax {
+				backoff = r.cfg.BackoffMax
+			}
+		}
+		c, err := r.dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.client = c
+		r.resets++
+		return nil
+	}
+	return fmt.Errorf("realtcp: reconnect failed after %d attempts: %w", r.cfg.MaxAttempts, lastErr)
+}
+
+// Close shuts down the current connection and stops future reconnects.
+func (r *Reconnector) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.client.Close()
+}

@@ -1,0 +1,117 @@
+package realtcp
+
+import (
+	"testing"
+	"time"
+
+	"e2ebatch/internal/resp"
+)
+
+// TestReconnectorSurvivesConnectionDrop: after the server abruptly closes
+// every connection, the wrapper redials, the retried command succeeds, and
+// the counters resync — the fresh client's Little's-law state starts clean
+// instead of differencing across the reset discontinuity.
+func TestReconnectorSurvivesConnectionDrop(t *testing.T) {
+	addr, srv := startServer(t)
+	r, err := DialReconnect(addr, ReconnectConfig{
+		MaxInflight: 64,
+		DialTimeout: 2 * time.Second,
+		ReadTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialReconnect: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	set := resp.Command("SET", "k", "v")
+	if err := r.Do(set); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Client()
+
+	srv.DropConnections()
+	// Wait for the client's read loop to observe the close; Do would also
+	// discover it, but only via a write error, which loopback may delay.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := r.Do(set); err == nil && r.Resets() == 1 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no recovery after drop: resets=%d err=%v", r.Resets(), err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if r.Client() == before {
+		t.Fatal("reconnect kept the dead client")
+	}
+	// Counter resync: the replacement client starts with zero outstanding
+	// requests and a freshly primed estimator — no leftovers from requests
+	// lost in the reset.
+	if out := r.Client().Outstanding(); out != 0 {
+		t.Fatalf("fresh client has %d outstanding requests", out)
+	}
+	for i := 0; i < 20; i++ {
+		if err := r.Do(resp.Command("GET", "k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := r.Estimate()
+	if !a.Valid || a.Latency < 0 || a.Throughput < 0 {
+		t.Fatalf("post-reset estimate not sane: %+v", a)
+	}
+	if r.Resets() != 1 {
+		t.Fatalf("resets = %d, want exactly 1", r.Resets())
+	}
+}
+
+// TestReconnectorGivesUpWithoutServer: when the server is gone for good the
+// backoff loop is bounded — Do fails instead of hanging.
+func TestReconnectorGivesUpWithoutServer(t *testing.T) {
+	addr, srv := startServer(t)
+	r, err := DialReconnect(addr, ReconnectConfig{
+		MaxInflight: 8,
+		DialTimeout: 100 * time.Millisecond,
+		ReadTimeout: 100 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatalf("DialReconnect: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := r.Do(resp.Command("PING")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Do kept succeeding against a closed server")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.Resets() != 0 {
+		t.Fatalf("resets = %d against a dead server", r.Resets())
+	}
+}
+
+// TestReconnectorClosedRefusesWork: Close is terminal — no redials after.
+func TestReconnectorClosedRefusesWork(t *testing.T) {
+	addr, _ := startServer(t)
+	r, err := DialReconnect(addr, ReconnectConfig{MaxInflight: 8})
+	if err != nil {
+		t.Fatalf("DialReconnect: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := r.Do(resp.Command("PING")); err == nil {
+		t.Fatal("Do succeeded on a closed reconnector")
+	}
+}

@@ -2,6 +2,7 @@ package tcpsim
 
 import (
 	"fmt"
+	"time"
 
 	"e2ebatch/internal/netem"
 	"e2ebatch/internal/qstate"
@@ -41,6 +42,9 @@ type Stats struct {
 	DelAckTimeouts  uint64 // ACKs released by the delayed-ACK timer
 	WindowStalls    uint64 // pump() stopped by a closed receive window
 	StatesExchanged uint64 // metadata exchanges attached to segments
+	StatesDropped   uint64 // inbound exchanges discarded by the fault hook
+	StatesDelayed   uint64 // inbound exchanges deferred by the fault hook
+	StatesDuped     uint64 // inbound exchanges replayed by the fault hook
 }
 
 // Conn is one endpoint of an emulated TCP connection. All methods must be
@@ -98,6 +102,7 @@ type Conn struct {
 	peerStateAt     sim.Time
 	peerStateValid  bool
 	onPeerState     func(qstate.WireState)
+	stateFault      func(qstate.WireState) StateFaultAction
 	onReadable      func()
 	readablePending bool
 
@@ -190,6 +195,31 @@ func (c *Conn) OnReadable(fn func()) { c.onReadable = fn }
 // OnPeerState registers fn to be invoked whenever a metadata exchange
 // arrives from the peer.
 func (c *Conn) OnPeerState(fn func(qstate.WireState)) { c.onPeerState = fn }
+
+// StateFaultAction directs the fate of one arriving metadata exchange — the
+// fault-injection surface for the 36-byte queue-state sharing (§3.2): real
+// networks drop, delay, and duplicate the packets carrying it, and the
+// estimator must degrade gracefully rather than consume garbage.
+type StateFaultAction struct {
+	// Drop discards the exchange entirely; PeerWireState keeps reporting
+	// the previous one.
+	Drop bool
+	// Delay defers applying the exchange by this long. A delayed exchange
+	// can land after a newer one — the reordering case the wire codec's
+	// modular deltas must reject.
+	Delay time.Duration
+	// Duplicate applies the exchange a second time, DupDelay after the
+	// first application. The replay carries the old counters but a fresh
+	// arrival timestamp — the false-freshness signal metadata-age
+	// tracking has to tolerate.
+	Duplicate bool
+	DupDelay  time.Duration
+}
+
+// SetStateFault installs fn as the arbiter of arriving metadata exchanges;
+// nil (the default) applies every exchange immediately. The hook runs inside
+// the receive path, on the simulator goroutine.
+func (c *Conn) SetStateFault(fn func(qstate.WireState) StateFaultAction) { c.stateFault = fn }
 
 // Send writes data to the connection, as one send(2) invocation. The caller
 // is responsible for charging its own application CPU cost before calling.
@@ -502,12 +532,7 @@ func (c *Conn) groPoll() {
 func (c *Conn) deliver(seg *segment) {
 	now := c.stack.Sim.Now()
 	if seg.hasState {
-		c.peerState = seg.state
-		c.peerStateAt = now
-		c.peerStateValid = true
-		if c.onPeerState != nil {
-			c.onPeerState(seg.state)
-		}
+		c.acceptPeerState(seg.state)
 	}
 	c.processAck(seg.ack, seg.wnd)
 
@@ -576,6 +601,42 @@ func (c *Conn) deliver(seg *segment) {
 		c.armDelack()
 	}
 	c.notifyReadable()
+}
+
+// acceptPeerState routes an arriving metadata exchange through the fault
+// hook (if any) before applying it.
+func (c *Conn) acceptPeerState(ws qstate.WireState) {
+	if c.stateFault == nil {
+		c.applyPeerState(ws)
+		return
+	}
+	act := c.stateFault(ws)
+	if act.Drop {
+		c.stats.StatesDropped++
+		return
+	}
+	if act.Delay > 0 {
+		c.stats.StatesDelayed++
+		c.stack.Sim.After(act.Delay, func() { c.applyPeerState(ws) })
+	} else {
+		c.applyPeerState(ws)
+	}
+	if act.Duplicate {
+		c.stats.StatesDuped++
+		c.stack.Sim.After(act.Delay+act.DupDelay, func() { c.applyPeerState(ws) })
+	}
+}
+
+// applyPeerState records ws as the peer's latest exchange, stamped with the
+// application time (which, under a Delay fault, is later than the wire
+// arrival — exactly what a delayed packet looks like).
+func (c *Conn) applyPeerState(ws qstate.WireState) {
+	c.peerState = ws
+	c.peerStateAt = c.stack.Sim.Now()
+	c.peerStateValid = true
+	if c.onPeerState != nil {
+		c.onPeerState(ws)
+	}
 }
 
 func (c *Conn) processAck(ack, wnd int64) {

@@ -139,3 +139,124 @@ func TestReadLogEmptyAndBlankLines(t *testing.T) {
 		t.Fatalf("blank log: %v, %d records", err, len(got.Records))
 	}
 }
+
+// TestEventRoundTrip: fault annotations survive serialization — including
+// details with spaces and an empty detail — and EventsBetween windows them.
+func TestEventRoundTrip(t *testing.T) {
+	log, _ := runTraced(t, 10000)
+	log.AddEvent(sim.Time(5*time.Millisecond), "loss-burst", "on prob=0.05 dur=40ms")
+	log.AddEvent(sim.Time(45*time.Millisecond), "loss-burst", "off")
+	log.AddEvent(sim.Time(60*time.Millisecond), "reset", "")
+
+	var buf bytes.Buffer
+	if _, err := log.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(log.Records) {
+		t.Fatalf("records = %d, want %d", len(got.Records), len(log.Records))
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("events = %+v, want 3", got.Events)
+	}
+	for i, e := range got.Events {
+		if e != log.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, log.Events[i])
+		}
+	}
+	mid := got.EventsBetween(sim.Time(40*time.Millisecond), sim.Time(61*time.Millisecond))
+	if len(mid) != 2 || mid[0].Detail != "off" || mid[1].Kind != "reset" {
+		t.Fatalf("EventsBetween = %+v", mid)
+	}
+	if n := len(got.EventsBetween(sim.Time(time.Second), sim.Time(2*time.Second))); n != 0 {
+		t.Fatalf("empty window returned %d events", n)
+	}
+}
+
+func TestReadLogRejectsMalformedFault(t *testing.T) {
+	for _, in := range []string{"fault ", "fault x kind", "fault 5"} {
+		if _, err := ReadLog(strings.NewReader(in + "\n")); err == nil {
+			t.Fatalf("malformed %q accepted", in)
+		}
+	}
+	// Minimal valid fault line without records.
+	log, err := ReadLog(strings.NewReader("fault 5 reset\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) != 1 || log.Events[0].Kind != "reset" || log.Events[0].Detail != "" {
+		t.Fatalf("events = %+v", log.Events)
+	}
+}
+
+// damageCheck asserts the offline analysis of a damaged log never produces
+// numeric garbage: every valid interval has non-negative latency and
+// throughput, and invalid intervals stay zeroed.
+func damageCheck(t *testing.T, name string, log *Log) int {
+	t.Helper()
+	valid := 0
+	for _, p := range log.Analyze(tcpsim.UnitBytes) {
+		e := p.Estimate
+		if e.Latency < 0 || e.Throughput < 0 || e.Throughput != e.Throughput {
+			t.Fatalf("%s: garbage interval %+v", name, e)
+		}
+		if !e.Valid && e.Latency != 0 {
+			t.Fatalf("%s: invalid interval carries latency %v", name, e.Latency)
+		}
+		if e.Valid {
+			valid++
+		}
+	}
+	ov := log.Overall(tcpsim.UnitBytes)
+	if ov.Latency < 0 || ov.Throughput < 0 {
+		t.Fatalf("%s: garbage overall %+v", name, ov)
+	}
+	return valid
+}
+
+// TestAnalyzeDamagedLogs feeds the offline analysis the three transport
+// pathologies an unreliable collection channel produces — dropped samples,
+// duplicated samples, and out-of-order samples — and requires graceful
+// results: fewer valid intervals, never NaN or negative estimates.
+func TestAnalyzeDamagedLogs(t *testing.T) {
+	base, _ := runTraced(t, 10000)
+	if len(base.Records) < 20 {
+		t.Fatalf("base log too short: %d records", len(base.Records))
+	}
+
+	dropped := &Log{}
+	for i, r := range base.Records {
+		if i%3 == 1 {
+			continue
+		}
+		dropped.Records = append(dropped.Records, r)
+	}
+	if v := damageCheck(t, "dropped", dropped); v == 0 {
+		t.Fatal("dropped-sample log produced no valid intervals at all")
+	}
+
+	duplicated := &Log{}
+	for _, r := range base.Records {
+		duplicated.Records = append(duplicated.Records, r, r)
+	}
+	// Every other interval is a zero-dt duplicate: those must be invalid,
+	// the rest unharmed.
+	v := damageCheck(t, "duplicated", duplicated)
+	if want := len(base.Records) - 1; v > want {
+		t.Fatalf("duplicated log has %d valid intervals, more than the %d real ones", v, want)
+	}
+	if v == 0 {
+		t.Fatal("duplicated-sample log produced no valid intervals at all")
+	}
+
+	reordered := &Log{Records: append([]Record(nil), base.Records...)}
+	for i := 5; i+1 < len(reordered.Records); i += 7 {
+		reordered.Records[i], reordered.Records[i+1] = reordered.Records[i+1], reordered.Records[i]
+	}
+	if v := damageCheck(t, "reordered", reordered); v == 0 {
+		t.Fatal("reordered log produced no valid intervals at all")
+	}
+}

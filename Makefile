@@ -23,7 +23,7 @@ tier1: vet lint build test race
 vet:
 	$(GO) vet ./...
 
-# lint enforces gofmt plus the project's own invariants: the six e2elint
+# lint enforces gofmt plus the project's own invariants: the seven e2elint
 # analyzers described in DESIGN.md §8 "Enforced invariants". Suppressions
 # require a justified `//lint:ignore e2elint/<name> reason` directive.
 lint: build
@@ -43,17 +43,18 @@ race: build
 # cover runs the full suite with statement coverage, prints the per-package
 # summary, and enforces floors on the packages whose edge cases the paper's
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
-# combination (core), and the fault-injection subsystem (faults). Floors sit
-# a few points under measured coverage at introduction (qstate 98.9%,
-# core 92.9%, faults 95.5%) so incidental drift passes but a feature landing
-# untested does not.
+# combination (core), the fault-injection subsystem (faults), and the shared
+# control loop (engine). Floors sit a few points under measured coverage at
+# introduction (qstate 98.9%, core 92.9%, faults 95.5%, engine 96.1%) so
+# incidental drift passes but a feature landing untested does not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
 	@$(GO) tool cover -func=cover.out | tail -1
 	@awk 'BEGIN { floor["e2ebatch/internal/qstate"]=95; \
 		floor["e2ebatch/internal/core"]=88; \
-		floor["e2ebatch/internal/faults"]=90 } \
+		floor["e2ebatch/internal/faults"]=90; \
+		floor["e2ebatch/internal/engine"]=92 } \
 		/^ok/ && /coverage:/ { \
 			v=""; for (i=1;i<=NF;i++) if ($$i=="coverage:") { v=$$(i+1); sub("%","",v) } \
 			if (($$2 in floor) && v+0 < floor[$$2]) { \

@@ -1,5 +1,5 @@
 // Command e2elint runs e2ebatch's project-specific static analysis suite —
-// the six analyzers in internal/lint that enforce the concurrency and
+// the seven analyzers in internal/lint that enforce the concurrency and
 // determinism invariants the estimator's correctness depends on (see
 // DESIGN.md "Enforced invariants").
 //

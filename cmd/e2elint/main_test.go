@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// TestCleanTree is the acceptance gate: the six analyzers over the whole
+// TestCleanTree is the acceptance gate: the seven analyzers over the whole
 // module exit 0. Satellite fixes (DecodeWireExact in the quickstart, the
 // seeded kvload RNG) keep it that way.
 func TestCleanTree(t *testing.T) {

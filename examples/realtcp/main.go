@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"e2ebatch/internal/engine"
 	"e2ebatch/internal/kv"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/realtcp"
@@ -41,8 +42,13 @@ func main() {
 	}
 	defer c.Close()
 
+	// The shared control engine over the client's hint counters: each
+	// manual Tick runs the same estimate→decision→TCP_NODELAY loop the
+	// simulated experiments use, here paced by the batch cadence instead
+	// of a periodic clock.
 	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: 2 * time.Millisecond},
 		policy.DefaultTogglerConfig(), policy.BatchOff, rand.New(rand.NewSource(1)))
+	ep := engine.New(engine.Config{Controller: tog, Initial: tog.Mode()}, c.EnginePort())
 
 	val := make([]byte, 4096)
 	wire := resp.AppendCommand(nil, []byte("SET"), []byte("bench-key-000000"), val)
@@ -64,12 +70,10 @@ func main() {
 		for c.Outstanding() > 0 {
 			time.Sleep(100 * time.Microsecond)
 		}
-		a := c.Estimate()
-		mode := tog.Observe(a.Latency, a.Throughput, a.Valid)
-		_ = c.SetNoDelay(mode == policy.BatchOff)
-		if a.Valid && sent%(perTick*8) == 0 {
+		r := ep.Tick(c.Elapsed())
+		if r.Estimate.Valid && sent%(perTick*8) == 0 {
 			fmt.Printf("  est latency=%-10v tput=%8.0f/s mode=%v\n",
-				a.Latency.Round(time.Microsecond), a.Throughput, mode)
+				r.Estimate.Latency.Round(time.Microsecond), r.Estimate.Throughput, r.Mode)
 		}
 		if d := tickGoal - time.Since(tickStart); d > 0 {
 			time.Sleep(d)

@@ -41,22 +41,13 @@ func main() {
 	cli := rpclib.NewClient(s, cc)
 	cli.PerCall = 2 * time.Microsecond
 
-	// The batching policy consumes the runtime's own estimates.
+	// The batching policy consumes the runtime's own estimates: one
+	// StartControl call attaches the shared engine loop (the same
+	// estimate→decision→apply tick the simulated and real-TCP harnesses
+	// run) to this client.
 	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: 300 * time.Microsecond},
 		policy.DefaultTogglerConfig(), policy.BatchOff, s.Rand())
-	applyMode := func(m policy.Mode) {
-		batch := m == policy.BatchOn
-		cc.SetNoDelay(!batch)
-		sc.SetNoDelay(!batch)
-		if batch {
-			cc.SetCorkBytes(64 << 10)
-			sc.SetCorkBytes(64 << 10)
-		}
-	}
-	sim.NewTicker(s, time.Millisecond, func(sim.Time) {
-		a := cli.Estimate()
-		applyMode(tog.Observe(a.Latency, a.Throughput, a.Valid))
-	})
+	cli.StartControl(tog, time.Millisecond, 64<<10)
 
 	// Open-loop call stream: ramp the rate up mid-run.
 	rng := rand.New(rand.NewSource(1))

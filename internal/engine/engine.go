@@ -1,0 +1,304 @@
+// Package engine is the one implementation of the paper's per-endpoint
+// control loop: queue snapshot → core.Sample assembly → end-to-end estimate
+// → batching decision → mode application, with degraded-tick routing and
+// tick accounting (§3.2 estimation, §5 toggling, PR-3 graceful
+// degradation).
+//
+// Every backend — the simulated stack (tcpsim), the multi-connection
+// aggregation runs, real kernel TCP (realtcp) and the RPC runtime (rpclib)
+// — drives the same Endpoint; they differ only in the two small interfaces
+// they plug in:
+//
+//	Port   where samples come from and decisions go (snapshot source +
+//	       mode sink), implemented by each backend's connection type;
+//	Clock  who schedules the decision tick (the virtual sim clock or a
+//	       wall-clock ticker goroutine).
+//
+// Closed-loop estimators are only comparable across backends when the
+// measurement/control loop is held fixed (PAPERS.md: Hill on Little's law,
+// Lübben & Fidler's closed-loop TCP benchmarks); concentrating the loop
+// here is what makes the sim-vs-real comparisons legitimate, and means a
+// policy change lands on all backends at once. The enginewiring analyzer
+// (DESIGN.md §8) keeps the loop from being re-inlined elsewhere.
+//
+// The Endpoint itself is single-goroutine: all Ticks must come from one
+// goroutine (the sim event loop, or one ticker goroutine whose Stop
+// establishes a happens-before with readers of Stats).
+package engine
+
+import (
+	"time"
+
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
+)
+
+// Decision is one batching decision as applied to a connection: the on/off
+// mode plus, when positive, the cork threshold to install. Zero CorkBytes
+// leaves the port's threshold unchanged (the on/off toggler corks only when
+// batching; the AIMD controller re-corks every tick).
+type Decision struct {
+	Batch     bool
+	CorkBytes int
+}
+
+// Port adapts one backend connection to the engine: it produces the per-tick
+// sample and absorbs the per-tick decision. Implementations live with the
+// backends (tcpsim.EnginePort, realtcp.Client.EnginePort, rpclib
+// Client.Port).
+type Port interface {
+	// Snapshot captures the connection's queue state as a core.Sample at
+	// time now (At and, when peer metadata exists, Remote/RemoteAt set).
+	Snapshot(now qstate.Time) core.Sample
+	// Apply installs a decision. Errors are counted by the endpoint and,
+	// past Config.ModeErrorLimit consecutive failing ticks, degrade the
+	// run (the real-TCP safe-mode fallback).
+	Apply(d Decision) error
+	// SelfContained reports that the port's samples carry the full
+	// end-to-end picture on their own — true for hints-based ports
+	// (create/complete spans the whole round trip, §3.3), where a missing
+	// peer exchange is the design rather than a degradation.
+	SelfContained() bool
+}
+
+// Controller is the mode-deciding policy surface the endpoint drives — the
+// ε-greedy policy.Toggler and the UCB1 policy.UCBToggler both satisfy it.
+type Controller interface {
+	Observe(latency time.Duration, throughput float64, valid bool) policy.Mode
+	ObserveDegraded() policy.Mode
+	Mode() policy.Mode
+	Stats() policy.TogglerStats
+}
+
+// AIMDPolicy is the alternative decision policy: AIMD control of the cork
+// threshold against an SLO (§5 "Better Batching Heuristics").
+type AIMDPolicy struct {
+	Ctl *policy.AIMD
+	SLO time.Duration
+}
+
+// Config parameterizes an Endpoint. At most one of Controller and AIMD may
+// be set; with neither, the endpoint is a passive estimator (Tick updates
+// estimates and accounting but applies nothing) — the probe mode the
+// steady-state and ablation measurements use.
+type Config struct {
+	Controller Controller
+	AIMD       *AIMDPolicy
+
+	// Initial is the mode applied at construction when Controller is set.
+	Initial policy.Mode
+	// CorkOnBytes is the cork threshold installed whenever the controller
+	// selects batch-on.
+	CorkOnBytes int
+	// MaxRemoteAge bounds peer-metadata staleness (core.Estimator).
+	MaxRemoteAge time.Duration
+	// ModeErrorLimit, when positive, is how many consecutive ticks with a
+	// failing Apply the endpoint tolerates before treating ticks as
+	// degraded — routing the controller to ObserveDegraded and thus, per
+	// its config, into safe mode. Zero disables the check.
+	ModeErrorLimit int
+	// OnTick, when non-nil, observes every tick's result after the
+	// decision is applied (e.g. to accumulate an online-estimate series).
+	OnTick func(now qstate.Time, r TickResult)
+}
+
+// TickResult is what one decision tick produced.
+type TickResult struct {
+	// Estimate is the per-interval end-to-end estimate (the aggregate,
+	// for multi-port endpoints); PerPort holds the individual estimates.
+	Estimate core.Estimate
+	PerPort  []core.Estimate
+	// Degraded reports the tick was routed down the degraded path
+	// (untrusted estimate or repeated mode-application failures).
+	Degraded bool
+	// Mode and Applied describe the decision: Applied is false for
+	// passive endpoints and for AIMD ticks skipped on invalid estimates.
+	Mode    policy.Mode
+	Applied bool
+}
+
+// Stats counts an endpoint's activity.
+type Stats struct {
+	// TotalTicks counts every Tick; OnTicks those where a controller
+	// chose batch-on; DegradedTicks those routed degraded.
+	TotalTicks    int
+	OnTicks       int
+	DegradedTicks int
+	// ValidEstimates counts ticks whose estimate was valid.
+	ValidEstimates int
+	// ModeErrors counts individual Apply failures.
+	ModeErrors int
+}
+
+// Endpoint owns the control loop over one or more ports. Multi-port
+// endpoints estimate per port and decide on the throughput-weighted
+// aggregate — the multi-connection policy scope of §3.2.
+type Endpoint struct {
+	cfg   Config
+	ports []Port
+	ests  []core.Estimator
+
+	modeErrRun int
+	stats      Stats
+	tickers    []Ticker
+}
+
+// New builds an endpoint over ports. When a Controller is configured, the
+// initial mode is applied immediately (the tick loop then re-applies each
+// decision). It panics on zero ports or on both policies at once.
+func New(cfg Config, ports ...Port) *Endpoint {
+	if len(ports) == 0 {
+		panic("engine: endpoint needs at least one port")
+	}
+	if cfg.Controller != nil && cfg.AIMD != nil {
+		panic("engine: Controller and AIMD are mutually exclusive")
+	}
+	ep := &Endpoint{cfg: cfg, ports: ports, ests: make([]core.Estimator, len(ports))}
+	for i := range ep.ests {
+		ep.ests[i].MaxRemoteAge = cfg.MaxRemoteAge
+	}
+	if cfg.Controller != nil {
+		ep.apply(ep.decisionFor(cfg.Initial))
+	}
+	return ep
+}
+
+// Tick runs one iteration of the control loop at time now: snapshot every
+// port, update the estimators, route the estimate to the configured policy,
+// and apply the decision back to every port.
+func (ep *Endpoint) Tick(now qstate.Time) TickResult {
+	var r TickResult
+	r.PerPort = make([]core.Estimate, len(ep.ports))
+	for i, p := range ep.ports {
+		e := ep.ests[i].Update(p.Snapshot(now))
+		if p.SelfContained() {
+			// A hints sample spans the full round trip by itself;
+			// absent peer metadata is not a degradation there.
+			e.Degraded, e.RemoteStale = false, false
+		}
+		r.PerPort[i] = e
+	}
+	if len(ep.ports) == 1 {
+		r.Estimate = r.PerPort[0]
+	} else {
+		r.Estimate = core.Aggregate(r.PerPort)
+		r.Estimate.Degraded = allDegraded(r.PerPort)
+	}
+	if r.Estimate.Valid {
+		ep.stats.ValidEstimates++
+	}
+	r.Degraded = r.Estimate.Degraded ||
+		(ep.cfg.ModeErrorLimit > 0 && ep.modeErrRun >= ep.cfg.ModeErrorLimit)
+
+	switch {
+	case ep.cfg.Controller != nil:
+		var m policy.Mode
+		if r.Degraded {
+			ep.stats.DegradedTicks++
+			m = ep.cfg.Controller.ObserveDegraded()
+		} else {
+			m = ep.cfg.Controller.Observe(r.Estimate.Latency, r.Estimate.Throughput, r.Estimate.Valid)
+		}
+		ep.apply(ep.decisionFor(m))
+		r.Mode, r.Applied = m, true
+		if m == policy.BatchOn {
+			ep.stats.OnTicks++
+		}
+	case ep.cfg.AIMD != nil:
+		if r.Estimate.Valid {
+			a := ep.cfg.AIMD
+			limit := a.Ctl.Observe(r.Estimate.Latency > a.SLO)
+			batch := !a.Ctl.AtFloor()
+			ep.apply(Decision{Batch: batch, CorkBytes: limit})
+			r.Applied = true
+			if batch {
+				r.Mode = policy.BatchOn
+			}
+		}
+		if r.Degraded {
+			ep.stats.DegradedTicks++
+		}
+	default:
+		if r.Degraded {
+			ep.stats.DegradedTicks++
+		}
+	}
+	ep.stats.TotalTicks++
+	if ep.cfg.OnTick != nil {
+		ep.cfg.OnTick(now, r)
+	}
+	return r
+}
+
+// decisionFor maps a controller mode to the decision the loop applies: cork
+// at CorkOnBytes while batching, leave the threshold alone otherwise.
+func (ep *Endpoint) decisionFor(m policy.Mode) Decision {
+	d := Decision{Batch: m == policy.BatchOn}
+	if d.Batch {
+		d.CorkBytes = ep.cfg.CorkOnBytes
+	}
+	return d
+}
+
+// apply installs d on every port, in port order, tracking failures.
+func (ep *Endpoint) apply(d Decision) {
+	failed := false
+	for _, p := range ep.ports {
+		if err := p.Apply(d); err != nil {
+			ep.stats.ModeErrors++
+			failed = true
+		}
+	}
+	if failed {
+		ep.modeErrRun++
+	} else {
+		ep.modeErrRun = 0
+	}
+}
+
+// allDegraded reports whether every estimate in es is degraded — the
+// aggregate is only untrusted once no connection retains a usable peer view.
+func allDegraded(es []core.Estimate) bool {
+	for _, e := range es {
+		if !e.Degraded {
+			return false
+		}
+	}
+	return len(es) > 0
+}
+
+// Start schedules Tick every period on clock. It may be called several
+// times (e.g. distinct sample and decision cadences share accounting only
+// if that is what the caller wants — the experiments use one).
+func (ep *Endpoint) Start(clock Clock, period time.Duration) {
+	ep.tickers = append(ep.tickers, clock.Tick(period, func(now qstate.Time) {
+		ep.Tick(now)
+	}))
+}
+
+// Stop halts every ticker started via Start. For wall-clock tickers, Stop
+// returns only after the tick goroutine exits, so a subsequent Stats read
+// is race-free.
+func (ep *Endpoint) Stop() {
+	for _, t := range ep.tickers {
+		t.Stop()
+	}
+	ep.tickers = nil
+}
+
+// Reset discards the estimators' priming state — the counter history is
+// invalid after a connection reset, so the next sample re-primes rather
+// than differencing across the discontinuity (configuration survives).
+func (ep *Endpoint) Reset() {
+	for i := range ep.ests {
+		ep.ests[i].Reset()
+	}
+}
+
+// Stats returns a copy of the endpoint's counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// Controller returns the configured controller (nil for passive or AIMD
+// endpoints).
+func (ep *Endpoint) Controller() Controller { return ep.cfg.Controller }

@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"e2ebatch/internal/core"
+	eng "e2ebatch/internal/engine"
 	"e2ebatch/internal/kv"
 	"e2ebatch/internal/loadgen"
 	"e2ebatch/internal/netem"
 	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
 	"e2ebatch/internal/sim"
 	"e2ebatch/internal/tcpsim"
 )
@@ -77,13 +79,12 @@ func runMulti(cal Calib, n int, rate float64, dur time.Duration, seed int64, dyn
 	engine := kv.NewEngine(store)
 
 	type connSet struct {
-		cc   *tcpsim.Conn
-		sc   *tcpsim.Conn
-		gen  *loadgen.Generator
-		est  core.Estimator
-		prev core.Sample
+		cc  *tcpsim.Conn
+		sc  *tcpsim.Conn
+		gen *loadgen.Generator
 	}
 	conns := make([]*connSet, n)
+	ports := make([]eng.Port, n)
 	lcfg := cal.Load
 	lcfg.Rate = rate / float64(n)
 	lcfg.Duration = dur
@@ -93,54 +94,39 @@ func runMulti(cal Calib, n int, rate float64, dur time.Duration, seed int64, dyn
 		kv.NewSimServer(engine, sc, cal.Server)
 		gen := loadgen.New(s, cc, lcfg, loadgen.SetWorkload(cal.KeySize, cal.ValSize))
 		conns[i] = &connSet{cc: cc, sc: sc, gen: gen}
+		ports[i] = tcpsim.NewEnginePort(cc, sc, tcpsim.UnitBytes)
 	}
 
-	// Steady-state per-connection estimation: prime each estimator after
-	// warmup, take the closing sample at the end.
+	// Steady-state per-connection estimation: a passive engine endpoint
+	// per connection, primed after warmup, closing sample at the end.
 	warmAt := s.Now().Add(lcfg.Warmup)
-	sampleOf := func(c *connSet) core.Sample {
-		ua, ur, ad := c.cc.Snapshots(tcpsim.UnitBytes)
-		smp := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
-		if ws, _, ok := c.cc.PeerWireState(); ok {
-			smp.Remote, smp.RemoteOK = ws, true
-		}
-		return smp
+	probes := make([]*eng.Endpoint, n)
+	for i := range probes {
+		probes[i] = eng.New(eng.Config{}, ports[i])
 	}
 	s.At(warmAt, func() {
-		for _, c := range conns {
-			c.est.Update(sampleOf(c))
+		for _, p := range probes {
+			p.Tick(qstate.Time(s.Now()))
 		}
 	})
 
 	// Dynamic toggling driven by the AGGREGATE of per-connection
 	// estimates, applied to every connection — the policy scope §3.2
-	// describes.
+	// describes. One multi-port engine endpoint is exactly that shape:
+	// per-port estimators, a throughput-weighted aggregate decision, and
+	// the full mode application (including the cork threshold on
+	// re-batch) on every connection.
 	var tog *policy.Toggler
-	var onTicks, ticks int
+	var dynEp *eng.Endpoint
 	if dyn != nil {
 		tog = policy.NewToggler(dyn.Objective, dyn.Toggler, dyn.Initial, s.Rand())
-		tick := make([]core.Estimator, n)
-		sim.NewTicker(s, dyn.Interval, func(sim.Time) {
-			ests := make([]core.Estimate, n)
-			for i, c := range conns {
-				ests[i] = tick[i].Update(sampleOf(c))
-			}
-			agg := core.Aggregate(ests)
-			m := tog.Observe(agg.Latency, agg.Throughput, agg.Valid)
-			batch := m == policy.BatchOn
-			for _, c := range conns {
-				c.cc.SetNoDelay(!batch)
-				c.sc.SetNoDelay(!batch)
-				if batch {
-					c.cc.SetCorkBytes(cal.CorkOnBytes)
-					c.sc.SetCorkBytes(cal.CorkOnBytes)
-				}
-			}
-			ticks++
-			if batch {
-				onTicks++
-			}
-		})
+		dynEp = eng.New(eng.Config{
+			Controller:   tog,
+			Initial:      dyn.Initial,
+			CorkOnBytes:  cal.CorkOnBytes,
+			MaxRemoteAge: dyn.MaxRemoteAge,
+		}, ports...)
+		dynEp.Start(eng.SimClock{Sim: s}, dyn.Interval)
 	}
 
 	var end sim.Time
@@ -168,7 +154,7 @@ func runMulti(cal Calib, n int, rate float64, dur time.Duration, seed int64, dyn
 	var pooled time.Duration
 	var count uint64
 	for i, c := range conns {
-		ests[i] = c.est.Update(sampleOf(c))
+		ests[i] = probes[i].Tick(qstate.Time(s.Now())).Estimate
 		r := c.gen.Finalize()
 		pooled += r.Latency.Sum()
 		count += r.Latency.Count()
@@ -178,11 +164,12 @@ func runMulti(cal Calib, n int, rate float64, dur time.Duration, seed int64, dyn
 		mean = pooled / time.Duration(count)
 	}
 	onShare := 0.0
-	if ticks > 0 {
-		onShare = float64(onTicks) / float64(ticks)
-	}
 	var switches uint64
 	if tog != nil {
+		st := dynEp.Stats()
+		if st.TotalTicks > 0 {
+			onShare = float64(st.OnTicks) / float64(st.TotalTicks)
+		}
 		switches = tog.Stats().Switches
 	}
 	return mean, ests, onShare, switches

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"e2ebatch/internal/core"
+	"e2ebatch/internal/engine"
 	"e2ebatch/internal/faults"
 	"e2ebatch/internal/hints"
 	"e2ebatch/internal/kv"
@@ -30,14 +31,6 @@ type DynamicSpec struct {
 	// estimator degrades to the local-only view (core.Estimator). Zero
 	// disables the staleness check.
 	MaxRemoteAge time.Duration
-}
-
-// modeController abstracts the two bandit controllers (ε-greedy, UCB1).
-type modeController interface {
-	Observe(latency time.Duration, throughput float64, valid bool) policy.Mode
-	ObserveDegraded() policy.Mode
-	Mode() policy.Mode
-	Stats() policy.TogglerStats
 }
 
 // DefaultDynamicSpec returns the toggling setup used by the experiments: a
@@ -245,21 +238,17 @@ func Run(spec RunSpec) *RunOut {
 	}
 	col := trace.NewCollector(s, cc, sc, ti)
 
-	// Estimate-driven dynamic toggling: one estimator tick applies the
-	// chosen mode to both endpoints, exactly what a kernel running the
-	// paper's policy on each side would do.
-	var tog modeController
-	var est core.Estimator
-	applyMode := func(m policy.Mode) {
-		batch := m == policy.BatchOn
-		cc.SetNoDelay(!batch)
-		sc.SetNoDelay(!batch)
-		if batch {
-			cc.SetCorkBytes(cal.CorkOnBytes)
-			sc.SetCorkBytes(cal.CorkOnBytes)
-		}
-	}
-	var onTicks, totalTicks int
+	// All three control variants below are the shared engine loop over the
+	// same connection pair; this function only translates the spec into an
+	// engine.Config and maps the accounting back out.
+	clock := engine.SimClock{Sim: s}
+	var endpoints []*engine.Endpoint
+
+	// Estimate-driven dynamic toggling: one engine tick applies the chosen
+	// mode to both endpoints, exactly what a kernel running the paper's
+	// policy on each side would do.
+	var tog engine.Controller
+	var dynEp *engine.Endpoint
 	if spec.Dynamic != nil {
 		d := spec.Dynamic
 		if d.UseUCB {
@@ -267,77 +256,41 @@ func Run(spec RunSpec) *RunOut {
 		} else {
 			tog = policy.NewToggler(d.Objective, d.Toggler, d.Initial, s.Rand())
 		}
-		est.MaxRemoteAge = d.MaxRemoteAge
-		applyMode(d.Initial)
-		sim.NewTicker(s, d.Interval, func(now sim.Time) {
-			ua, ur, ad := cc.Snapshots(d.Unit)
-			sample := core.Sample{
-				Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad},
-				At:    qstate.Time(now),
-			}
-			if ws, at, ok := cc.PeerWireState(); ok {
-				sample.Remote, sample.RemoteOK = ws, true
-				sample.RemoteAt = qstate.Time(at)
-			}
-			e := est.Update(sample)
-			if e.Valid {
-				out.OnlineEstimates++
-			}
-			var m policy.Mode
-			if e.Degraded {
-				out.DegradedTicks++
-				m = tog.ObserveDegraded()
-			} else {
-				m = tog.Observe(e.Latency, e.Throughput, e.Valid)
-			}
-			applyMode(m)
-			totalTicks++
-			if m == policy.BatchOn {
-				onTicks++
-			}
-		})
+		dynEp = engine.New(engine.Config{
+			Controller:   tog,
+			Initial:      d.Initial,
+			CorkOnBytes:  cal.CorkOnBytes,
+			MaxRemoteAge: d.MaxRemoteAge,
+		}, tcpsim.NewEnginePort(cc, sc, d.Unit))
+		dynEp.Start(clock, d.Interval)
+		endpoints = append(endpoints, dynEp)
 	}
 
 	if spec.OnlineEstimateEvery > 0 {
-		var onEst core.Estimator
+		// A passive endpoint: estimates accumulate, no policy drives.
 		var sum time.Duration
 		warm := spec.Duration / 5
-		sim.NewTicker(s, spec.OnlineEstimateEvery, func(now sim.Time) {
-			ua, ur, ad := cc.Snapshots(tcpsim.UnitBytes)
-			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
-			if ws, _, ok := cc.PeerWireState(); ok {
-				sample.Remote, sample.RemoteOK = ws, true
-			}
-			e := onEst.Update(sample)
-			if e.Valid && now.Duration() >= warm {
-				sum += e.Latency
-				out.OnlineCount++
-				out.OnlineAvg = sum / time.Duration(out.OnlineCount)
-			}
-		})
+		onEp := engine.New(engine.Config{
+			OnTick: func(now qstate.Time, r engine.TickResult) {
+				if r.Estimate.Valid && time.Duration(now) >= warm {
+					sum += r.Estimate.Latency
+					out.OnlineCount++
+					out.OnlineAvg = sum / time.Duration(out.OnlineCount)
+				}
+			},
+		}, tcpsim.NewEnginePort(cc, sc, tcpsim.UnitBytes))
+		onEp.Start(clock, spec.OnlineEstimateEvery)
 	}
 
 	var aimd *policy.AIMD
 	if spec.AIMD != nil {
 		a := spec.AIMD
 		aimd = policy.NewAIMD(a.Min, a.Max, a.Step, a.Backoff)
-		sim.NewTicker(s, a.Interval, func(sim.Time) {
-			ua, ur, ad := cc.Snapshots(tcpsim.UnitBytes)
-			sample := core.Sample{Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad}}
-			if ws, _, ok := cc.PeerWireState(); ok {
-				sample.Remote, sample.RemoteOK = ws, true
-			}
-			e := est.Update(sample)
-			if !e.Valid {
-				return
-			}
-			limit := aimd.Observe(e.Latency > a.SLO)
-			batch := !aimd.AtFloor()
-			cc.SetNoDelay(!batch)
-			sc.SetNoDelay(!batch)
-			cc.SetCorkBytes(limit)
-			sc.SetCorkBytes(limit)
-		})
+		aimdEp := engine.New(engine.Config{
+			AIMD: &engine.AIMDPolicy{Ctl: aimd, SLO: a.SLO},
+		}, tcpsim.NewEnginePort(cc, sc, tcpsim.UnitBytes))
+		aimdEp.Start(clock, a.Interval)
+		endpoints = append(endpoints, aimdEp)
 	}
 
 	if spec.Faults != nil {
@@ -348,9 +301,13 @@ func Run(spec RunSpec) *RunOut {
 			Client:  cc,
 			Staller: srv,
 			// A reset invalidates the counter history on both sides of
-			// the exchange: re-prime the estimator rather than let it
+			// the exchange: re-prime the estimators rather than let them
 			// difference across the discontinuity.
-			OnReset: func() { est.Reset() },
+			OnReset: func() {
+				for _, ep := range endpoints {
+					ep.Reset()
+				}
+			},
 			OnFault: func(kind, detail string) { col.Log().AddEvent(s.Now(), kind, detail) },
 		})
 	}
@@ -374,12 +331,15 @@ func Run(spec RunSpec) *RunOut {
 	out.ServerStats = srv.Stats()
 	out.ClientConn = cc.Stats()
 	out.ServerConn = sc.Stats()
-	out.TotalTicks = totalTicks
 	if tog != nil {
+		st := dynEp.Stats()
+		out.TotalTicks = st.TotalTicks
+		out.DegradedTicks = st.DegradedTicks
+		out.OnlineEstimates = st.ValidEstimates
 		out.TogglerStats = tog.Stats()
 		out.FinalMode = tog.Mode()
-		if totalTicks > 0 {
-			out.OnShare = float64(onTicks) / float64(totalTicks)
+		if st.TotalTicks > 0 {
+			out.OnShare = float64(st.OnTicks) / float64(st.TotalTicks)
 		}
 	}
 	if aimd != nil {

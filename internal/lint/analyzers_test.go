@@ -32,6 +32,22 @@ func TestMutexHoldGoldenRestricted(t *testing.T) {
 	runGoldenAs(t, MutexHold, "mutexhold", "e2ebatch/internal/policy")
 }
 
+func TestEngineWiringGoldenRestricted(t *testing.T) {
+	// The testdata stands in for any monitored internal package.
+	runGoldenAs(t, EngineWiring, "enginewiring", "e2ebatch/internal/figures")
+}
+
+func TestEngineWiringGoldenEngineExempt(t *testing.T) {
+	// The same calls inside internal/engine are the loop's own home.
+	runExpectNoneAs(t, EngineWiring, "enginewiring", "e2ebatch/internal/engine")
+}
+
+func TestEngineWiringGoldenUnrestricted(t *testing.T) {
+	// Outside internal/ and cmd/ (examples, external code) the rule does
+	// not apply, so every want comment must go unmatched.
+	runExpectNone(t, EngineWiring, "enginewiring")
+}
+
 func TestMutexHoldGoldenUnrestricted(t *testing.T) {
 	// Outside qstate/core/policy the same code is not this analyzer's
 	// business (realtcp's server does socket I/O under its own locks by

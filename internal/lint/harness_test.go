@@ -98,9 +98,15 @@ func runGoldenAs(t *testing.T, a *Analyzer, dir, asPath string) {
 // directory, disregarding any want comments (used to show a rule is scoped
 // off outside its restricted packages).
 func runExpectNone(t *testing.T, a *Analyzer, dir string) {
+	runExpectNoneAs(t, a, dir, "")
+}
+
+// runExpectNoneAs is runExpectNone under an assumed import path (used to
+// show a rule exempts a specific package, e.g. internal/engine).
+func runExpectNoneAs(t *testing.T, a *Analyzer, dir, asPath string) {
 	t.Helper()
 	full := filepath.Join("testdata", "src", dir)
-	pkg, err := sharedLoader(t).LoadDir(full)
+	pkg, err := sharedLoader(t).LoadDirAs(full, asPath)
 	if err != nil {
 		t.Fatalf("loading %s: %v", full, err)
 	}

@@ -1,9 +1,9 @@
 // Package lint is e2ebatch's project-specific static analysis suite: a
 // small analyzer framework (deliberately shaped after
 // golang.org/x/tools/go/analysis, but built on the standard library alone so
-// the repo stays dependency-free) plus six analyzers that mechanically
-// enforce the concurrency and determinism invariants the estimator's
-// correctness depends on. The rules themselves live in one file per
+// the repo stays dependency-free) plus seven analyzers that mechanically
+// enforce the concurrency, determinism and single-control-loop invariants
+// the estimator's correctness depends on. The rules themselves live in one file per
 // analyzer; DESIGN.md §8 "Enforced invariants" maps each rule to the paper
 // algorithm or PR-1 guarantee it guards.
 //
@@ -77,6 +77,7 @@ func Analyzers() []*Analyzer {
 		SnapshotPair,
 		WireSize,
 		MutexHold,
+		EngineWiring,
 	}
 }
 

@@ -13,6 +13,7 @@ const (
 	corePath   = "e2ebatch/internal/core"
 	hintsPath  = "e2ebatch/internal/hints"
 	policyPath = "e2ebatch/internal/policy"
+	enginePath = "e2ebatch/internal/engine"
 )
 
 // calleeObj resolves the object a call expression invokes: the *types.Func

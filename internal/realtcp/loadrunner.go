@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"e2ebatch/internal/engine"
 	"e2ebatch/internal/policy"
 )
 
@@ -16,14 +17,20 @@ type LoadOptions struct {
 	Duration time.Duration
 	// Request is the wire bytes sent per request.
 	Request []byte
-	// Toggler, when non-nil, is fed the client's hint estimates every
-	// Tick and drives TCP_NODELAY (batch-off = NODELAY set).
+	// Toggler, when non-nil, is driven from the client's hint estimates
+	// every Tick and controls TCP_NODELAY (batch-off = NODELAY set).
+	// After ModeErrorLimit consecutive ticks whose SetNoDelay failed, the
+	// run is treated as degraded and the toggler retreats to its safe
+	// mode per its own DegradedAfter policy.
 	Toggler *policy.Toggler
 	// Tick is the estimate/decision period (default 10 ms).
 	Tick time.Duration
 	// DrainTimeout bounds the wait for outstanding responses (default
 	// 5 s).
 	DrainTimeout time.Duration
+	// ModeErrorLimit is how many consecutive failing mode applications
+	// are tolerated before degrading (default 3; negative disables).
+	ModeErrorLimit int
 }
 
 // LoadReport summarizes a run.
@@ -36,12 +43,20 @@ type LoadReport struct {
 	Toggler   policy.TogglerStats
 	// Estimates counts valid per-tick hint estimates observed.
 	Estimates int
+	// TotalTicks counts decision ticks; DegradedTicks the subset routed
+	// down the degraded path after repeated mode failures.
+	TotalTicks    int
+	DegradedTicks int
+	// NoDelayErrors counts individual SetNoDelay failures — a failure is
+	// an outcome, not a silent no-op.
+	NoDelayErrors int
 }
 
-// RunLoad paces requests at the configured rate, optionally toggling
-// TCP_NODELAY from the client's own Little's-law estimates, then drains and
-// reports. This is the userspace-only deployment of the paper's proposal on
-// stock kernels.
+// RunLoad paces requests at the configured rate, driving the shared control
+// engine (estimate → toggling decision → TCP_NODELAY) from the client's own
+// Little's-law counters, then drains and reports. This is the
+// userspace-only deployment of the paper's proposal on stock kernels,
+// running the same engine loop as the simulated experiments.
 func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 	if opts.Rate <= 0 || opts.Duration <= 0 || len(opts.Request) == 0 {
 		return nil, errors.New("realtcp: RunLoad needs a positive rate, duration, and a request")
@@ -54,38 +69,36 @@ func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 	if drainTO <= 0 {
 		drainTO = 5 * time.Second
 	}
+	errLimit := opts.ModeErrorLimit
+	if errLimit == 0 {
+		errLimit = 3
+	} else if errLimit < 0 {
+		errLimit = 0
+	}
 
 	rep := &LoadReport{}
-	stop := make(chan struct{})
-	tickerDone := make(chan struct{})
-	go func() {
-		defer close(tickerDone)
-		t := time.NewTicker(tick)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				a := c.Estimate()
-				if a.Valid {
-					rep.Estimates++
-				}
-				if opts.Toggler != nil {
-					m := opts.Toggler.Observe(a.Latency, a.Throughput, a.Valid)
-					_ = c.SetNoDelay(m == policy.BatchOff)
-				}
-			}
-		}
-	}()
+	cfg := engine.Config{ModeErrorLimit: errLimit}
+	if opts.Toggler != nil {
+		cfg.Controller = opts.Toggler
+		cfg.Initial = opts.Toggler.Mode()
+	}
+	ep := engine.New(cfg, c.EnginePort())
+	ep.Start(WallClock{Now: c.Elapsed}, tick)
+	finish := func() {
+		ep.Stop()
+		st := ep.Stats()
+		rep.Estimates = st.ValidEstimates
+		rep.TotalTicks = st.TotalTicks
+		rep.DegradedTicks = st.DegradedTicks
+		rep.NoDelayErrors = st.ModeErrors
+	}
 
 	interval := time.Duration(float64(time.Second) / opts.Rate)
 	deadline := time.Now().Add(opts.Duration)
 	next := time.Now()
 	for time.Now().Before(deadline) {
 		if err := c.Send(opts.Request); err != nil {
-			close(stop)
-			<-tickerDone
+			finish()
 			return nil, err
 		}
 		rep.Sent++
@@ -99,8 +112,7 @@ func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 	for c.Outstanding() > 0 && time.Now().Before(drainDeadline) {
 		time.Sleep(time.Millisecond)
 	}
-	close(stop)
-	<-tickerDone
+	finish()
 
 	lats := c.Latencies()
 	if len(lats) > 0 {

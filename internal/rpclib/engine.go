@@ -1,0 +1,63 @@
+package rpclib
+
+import (
+	"time"
+
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/qstate"
+)
+
+// Port adapts the client runtime to the shared control engine: samples come
+// from the runtime-owned create/complete tracker (§3.3) and decisions apply
+// to both ends of the simulated connection.
+func (c *Client) Port() engine.Port { return clientPort{c} }
+
+type clientPort struct{ c *Client }
+
+// Snapshot captures the runtime's single end-to-end hint queue as the
+// sample's unacked queue — Little's law over it is the app-perceived
+// latency and throughput.
+func (p clientPort) Snapshot(now qstate.Time) core.Sample {
+	return core.Sample{
+		Local: core.Queues{Unacked: p.c.tracker.Snapshot()},
+		At:    now,
+	}
+}
+
+// Apply installs the batching decision on both connection ends.
+func (p clientPort) Apply(d engine.Decision) error {
+	local, peer := p.c.conn, p.c.conn.Peer()
+	local.SetNoDelay(!d.Batch)
+	if peer != nil {
+		peer.SetNoDelay(!d.Batch)
+	}
+	if d.CorkBytes > 0 {
+		local.SetCorkBytes(d.CorkBytes)
+		if peer != nil {
+			peer.SetCorkBytes(d.CorkBytes)
+		}
+	}
+	return nil
+}
+
+// SelfContained reports true: the runtime's hints span issue-to-response,
+// so samples are trustworthy without peer metadata.
+func (p clientPort) SelfContained() bool { return true }
+
+// StartControl attaches the shared engine loop to the client: every
+// interval it derives the runtime's own end-to-end estimate from the hint
+// tracker and drives the connection's batching mode — §3.3's promise that
+// applications on a hint-integrated framework get estimate-driven batching
+// for free, now with the same degraded-tick routing every other backend
+// runs. corkBytes is the threshold installed while batching. Stop the
+// returned endpoint to halt the loop.
+func (c *Client) StartControl(ctl engine.Controller, interval time.Duration, corkBytes int) *engine.Endpoint {
+	ep := engine.New(engine.Config{
+		Controller:  ctl,
+		Initial:     ctl.Mode(),
+		CorkOnBytes: corkBytes,
+	}, c.Port())
+	ep.Start(engine.SimClock{Sim: c.s}, interval)
+	return ep
+}

@@ -1,0 +1,52 @@
+package tcpsim
+
+import (
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/qstate"
+)
+
+// EnginePort adapts one simulated connection pair to the shared control
+// engine: samples come from the local end's kernel queue snapshots plus the
+// peer's last metadata exchange, and decisions are applied to both ends —
+// what a kernel running the paper's policy on each side would do.
+type EnginePort struct {
+	local *Conn
+	peer  *Conn
+	unit  Unit
+}
+
+// NewEnginePort returns a port sampling local in unit and applying
+// decisions to both local and peer.
+func NewEnginePort(local, peer *Conn, unit Unit) *EnginePort {
+	return &EnginePort{local: local, peer: peer, unit: unit}
+}
+
+// Snapshot captures the local queue state and the freshest peer exchange.
+func (p *EnginePort) Snapshot(now qstate.Time) core.Sample {
+	ua, ur, ad := p.local.Snapshots(p.unit)
+	s := core.Sample{
+		Local: core.Queues{Unacked: ua, Unread: ur, AckDelay: ad},
+		At:    now,
+	}
+	if ws, at, ok := p.local.PeerWireState(); ok {
+		s.Remote, s.RemoteOK = ws, true
+		s.RemoteAt = qstate.Time(at)
+	}
+	return s
+}
+
+// Apply sets NODELAY on both ends and, when requested, the cork threshold.
+func (p *EnginePort) Apply(d engine.Decision) error {
+	p.local.SetNoDelay(!d.Batch)
+	p.peer.SetNoDelay(!d.Batch)
+	if d.CorkBytes > 0 {
+		p.local.SetCorkBytes(d.CorkBytes)
+		p.peer.SetCorkBytes(d.CorkBytes)
+	}
+	return nil
+}
+
+// SelfContained reports false: these samples are the kernel-queue kind that
+// need the peer's metadata for the full §3.2 picture.
+func (p *EnginePort) SelfContained() bool { return false }

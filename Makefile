@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint build test race cover clean
+.PHONY: tier1 vet lint build test race obs-smoke cover bench clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -18,12 +18,12 @@ GOFMT ?= gofmt
 # race runs the short-mode suite only: full sweeps are skipped under -short
 # so the ~10x race overhead stays affordable; the determinism, invariant,
 # fuzz-seed and stress tests all still run.
-tier1: vet lint build test race
+tier1: vet lint build test race obs-smoke
 
 vet:
 	$(GO) vet ./...
 
-# lint enforces gofmt plus the project's own invariants: the seven e2elint
+# lint enforces gofmt plus the project's own invariants: the eight e2elint
 # analyzers described in DESIGN.md §8 "Enforced invariants". Suppressions
 # require a justified `//lint:ignore e2elint/<name> reason` directive.
 lint: build
@@ -40,13 +40,23 @@ test: build
 race: build
 	$(GO) test -short -race ./...
 
+# obs-smoke exercises the telemetry plane end to end against the real
+# kvserver binary: spawn with -obs, drive a request over real TCP, scrape
+# /metrics and the /debug endpoints, then SIGINT and require exit 0. The
+# same test runs inside `make test`; this target reruns it verbosely and
+# uncached for a fast standalone check.
+obs-smoke: build
+	$(GO) test -count=1 -run TestObsSmokeKvserver -v .
+
 # cover runs the full suite with statement coverage, prints the per-package
 # summary, and enforces floors on the packages whose edge cases the paper's
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
 # combination (core), the fault-injection subsystem (faults), and the shared
-# control loop (engine). Floors sit a few points under measured coverage at
-# introduction (qstate 98.9%, core 92.9%, faults 95.5%, engine 96.1%) so
-# incidental drift passes but a feature landing untested does not.
+# control loop (engine), plus the PR-8 telemetry plane (obs) and the
+# benchmark artifact parser (benchfmt). Floors sit a few points under
+# measured coverage at introduction (qstate 98.9%, core 92.9%, faults
+# 95.5%, engine 96.1%, obs 89.6%, benchfmt 93.3%) so incidental drift
+# passes but a feature landing untested does not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
@@ -54,7 +64,9 @@ cover: build
 	@awk 'BEGIN { floor["e2ebatch/internal/qstate"]=95; \
 		floor["e2ebatch/internal/core"]=88; \
 		floor["e2ebatch/internal/faults"]=90; \
-		floor["e2ebatch/internal/engine"]=92 } \
+		floor["e2ebatch/internal/engine"]=92; \
+		floor["e2ebatch/internal/obs"]=84; \
+		floor["e2ebatch/internal/benchfmt"]=88 } \
 		/^ok/ && /coverage:/ { \
 			v=""; for (i=1;i<=NF;i++) if ($$i=="coverage:") { v=$$(i+1); sub("%","",v) } \
 			if (($$2 in floor) && v+0 < floor[$$2]) { \
@@ -62,6 +74,15 @@ cover: build
 			delete floor[$$2] } \
 		END { for (p in floor) { printf "coverage floor unchecked: %s missing from test output\n", p; bad=1 } \
 			exit bad }' cover.txt
+
+# bench regenerates every paper table via the root benchmark harness with
+# allocation accounting and archives the result lines as BENCH_<date>.json
+# (name, ns/op, B/op, allocs/op plus the custom figure metrics), so the
+# perf trajectory is tracked across PRs instead of living in scrollback.
+# The live transcript still streams to the terminal; if the test run dies
+# early, benchjson sees no result lines and fails the target.
+bench: build
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,60 @@
+// Command benchjson tees a `go test -bench` transcript from stdin to
+// stdout while extracting the benchmark result lines, then writes them as
+// a JSON array to -out. `make bench` uses it to archive BENCH_<date>.json
+// without hiding the live run output:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"e2ebatch/internal/benchfmt"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON results here (empty: stdout, transcript suppressed)")
+	flag.Parse()
+
+	var results []benchfmt.Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := benchfmt.ParseLine(line); ok {
+			results = append(results, r)
+		}
+		if *out != "" {
+			fmt.Println(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.WriteJSON(w, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+	}
+}

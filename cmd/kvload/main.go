@@ -7,6 +7,12 @@
 //
 //	kvload -addr 127.0.0.1:6380 -rate 20000 -dur 10s
 //	kvload -addr 127.0.0.1:6380 -rate 20000 -dur 10s -toggle
+//	kvload ... -toggle -obs 127.0.0.1:9091   # live control-loop telemetry
+//
+// With -obs, every engine tick lands in /metrics (tick, degraded and
+// mode-flip counters, exploration and safe-mode accounting, estimate and
+// request latency summaries) and the last 1024 decision records are
+// queryable as JSONL at /debug/decisions?n=K while the run is in flight.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"e2ebatch/internal/obs"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/realtcp"
 	"e2ebatch/internal/resp"
@@ -32,6 +39,7 @@ func main() {
 		tick    = flag.Duration("tick", 10*time.Millisecond, "estimate/toggle tick")
 		slo     = flag.Duration("slo", 500*time.Microsecond, "latency SLO for the toggling objective")
 		seed    = flag.Int64("seed", 1, "toggler exploration RNG seed; 0 draws one from the wall clock")
+		obsAddr = flag.String("obs", "", "serve /metrics, /debug/decisions, /debug/vars and /debug/pprof on this address for the run (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -66,6 +74,27 @@ func main() {
 		opts.Toggler = policy.NewToggler(policy.ThroughputUnderSLO{SLO: *slo},
 			policy.DefaultTogglerConfig(), policy.BatchOff,
 			rand.New(rand.NewSource(s)))
+	}
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		ring := obs.NewRing(1024)
+		ob := obs.NewEngineObserver(obs.NewEngineMetrics(reg), ring)
+		ob.Name = "kvload"
+		if opts.Toggler != nil {
+			ob.Stats = opts.Toggler.Stats
+		}
+		opts.Observer = ob
+		c.ObserveLatencies(reg.Latencies("e2e_request_latency_seconds",
+			"Client-observed request latency (send to response).").Record)
+		debug := obs.NewDebugServer(reg, ring)
+		a, err := debug.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: obs:", err)
+			os.Exit(1)
+		}
+		defer debug.Close()
+		fmt.Printf("obs listening on %s\n", a)
 	}
 
 	rep, err := realtcp.RunLoad(c, opts)

@@ -5,6 +5,11 @@
 //
 //	kvserver -addr :6380            # TCP_NODELAY like real Redis
 //	kvserver -addr :6380 -nagle     # leave Nagle batching enabled
+//	kvserver -addr :6380 -obs :9090 # expose /metrics, /debug/* on :9090
+//
+// With -obs, `curl :9090/metrics` serves the full engine metric schema in
+// Prometheus text format plus the server-side request latency summary, and
+// /debug/pprof is live.
 package main
 
 import (
@@ -16,19 +21,40 @@ import (
 	"time"
 
 	"e2ebatch/internal/kv"
+	"e2ebatch/internal/obs"
 	"e2ebatch/internal/realtcp"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:6380", "listen address")
-		nagle = flag.Bool("nagle", false, "keep Nagle's algorithm enabled on accepted connections")
+		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
+		nagle   = flag.Bool("nagle", false, "keep Nagle's algorithm enabled on accepted connections")
+		obsAddr = flag.String("obs", "", "serve /metrics, /debug/decisions, /debug/vars and /debug/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 
 	store := kv.NewStore(func() time.Duration { return time.Duration(time.Now().UnixNano()) })
 	srv := realtcp.NewServer(kv.NewEngine(store))
 	srv.Nagle = *nagle
+
+	var debug *obs.DebugServer
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		// Register the full engine schema up front so scrapes always
+		// show every family — flat until a control loop drives them
+		// (the engine runs client-side; a pure server exports zeros).
+		obs.NewEngineMetrics(reg)
+		lat := reg.Latencies("e2e_request_latency_seconds",
+			"Server-side command execution latency.")
+		srv.OnRequest = lat.Record
+		debug = obs.NewDebugServer(reg, obs.NewRing(1024))
+		a, err := debug.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvserver: obs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs listening on %s\n", a)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -42,6 +68,9 @@ func main() {
 	go func() {
 		<-sig
 		fmt.Println("kvserver: shutting down")
+		if debug != nil {
+			debug.Close()
+		}
 		srv.Close()
 	}()
 

@@ -4,9 +4,15 @@
 // TCP_NODELAY toggling — no kernel patches required.
 //
 // Run with: go run ./examples/realtcp
+//
+// Pass -obs 127.0.0.1:9090 to watch the control loop live while it runs:
+// `curl 127.0.0.1:9090/metrics` for the engine counters and latency
+// summaries, `curl '127.0.0.1:9090/debug/decisions?n=20'` for the last
+// decision records as JSONL.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"net"
@@ -16,12 +22,15 @@ import (
 
 	"e2ebatch/internal/engine"
 	"e2ebatch/internal/kv"
+	"e2ebatch/internal/obs"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/realtcp"
 	"e2ebatch/internal/resp"
 )
 
 func main() {
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug endpoints on this address during the run")
+	flag.Parse()
 	// ---- server ----
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -48,7 +57,26 @@ func main() {
 	// of a periodic clock.
 	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: 2 * time.Millisecond},
 		policy.DefaultTogglerConfig(), policy.BatchOff, rand.New(rand.NewSource(1)))
-	ep := engine.New(engine.Config{Controller: tog, Initial: tog.Mode()}, c.EnginePort())
+	cfg := engine.Config{Controller: tog, Initial: tog.Mode()}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		ring := obs.NewRing(1024)
+		ob := obs.NewEngineObserver(obs.NewEngineMetrics(reg), ring)
+		ob.Name = "example-realtcp"
+		ob.Stats = tog.Stats
+		cfg.Observer = ob
+		c.ObserveLatencies(reg.Latencies("e2e_request_latency_seconds",
+			"Client-observed request latency.").Record)
+		debug := obs.NewDebugServer(reg, ring)
+		a, err := debug.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(1)
+		}
+		defer debug.Close()
+		fmt.Println("obs on", a)
+	}
+	ep := engine.New(cfg, c.EnginePort())
 
 	val := make([]byte, 4096)
 	wire := resp.AppendCommand(nil, []byte("SET"), []byte("bench-key-000000"), val)

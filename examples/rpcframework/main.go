@@ -4,14 +4,25 @@
 // performance estimation — and estimate-driven batching — for free.
 //
 // Run with: go run ./examples/rpcframework
+//
+// Pass -obs 127.0.0.1:9090 to export the control loop's telemetry: the
+// simulated run completes, then the process stays up serving /metrics,
+// /debug/decisions and /debug/pprof until interrupted. Attaching the
+// observer changes nothing in the run's output — the decision stream is a
+// read-only export seam.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"os/signal"
 	"time"
 
+	"e2ebatch/internal/engine"
 	"e2ebatch/internal/netem"
+	"e2ebatch/internal/obs"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/rpclib"
 	"e2ebatch/internal/sim"
@@ -19,6 +30,9 @@ import (
 )
 
 func main() {
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug endpoints on this address after the run")
+	flag.Parse()
+
 	s := sim.New(42)
 	cliHost := tcpsim.NewStack(s, "client")
 	srvHost := tcpsim.NewStack(s, "server")
@@ -47,7 +61,20 @@ func main() {
 	// run) to this client.
 	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: 300 * time.Microsecond},
 		policy.DefaultTogglerConfig(), policy.BatchOff, s.Rand())
-	cli.StartControl(tog, time.Millisecond, 64<<10)
+	var (
+		reg  *obs.Registry
+		ring *obs.Ring
+		ob   engine.Observer
+	)
+	if *obsAddr != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRing(1024)
+		eob := obs.NewEngineObserver(obs.NewEngineMetrics(reg), ring)
+		eob.Name = "example-rpc"
+		eob.Stats = tog.Stats
+		ob = eob
+	}
+	cli.StartControlObserved(tog, time.Millisecond, 64<<10, ob)
 
 	// Open-loop call stream: ramp the rate up mid-run.
 	rng := rand.New(rand.NewSource(1))
@@ -83,4 +110,18 @@ func main() {
 	fmt.Println("(this service meets its SLO without batching even at the high rate,")
 	fmt.Println(" so the policy correctly stays in batch-off — estimates preventing a")
 	fmt.Println(" pointless mode flip is as much the point as triggering a needed one)")
+
+	if reg != nil {
+		debug := obs.NewDebugServer(reg, ring)
+		a, err := debug.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nobs serving the run's telemetry on %s — ctrl-C to exit\n", a)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		debug.Close()
+	}
 }

@@ -1,0 +1,119 @@
+// Package benchfmt parses the text `go test -bench` emits and renders it
+// as stable JSON, so `make bench` can archive one machine-readable
+// BENCH_<date>.json per run and the perf trajectory is diffable across
+// PRs instead of living in scrollback.
+//
+// The format parsed is the benchmark result line defined by the testing
+// package (and consumed by benchstat):
+//
+//	BenchmarkFigure4a-8   3   401310074 ns/op   1.93 slo-extension-x   2048 B/op   12 allocs/op
+//
+// Everything else — the printed tables, PASS/ok trailers, goos/goarch
+// headers — passes through untouched.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Result is one benchmark line. The three canonical -benchmem columns
+// get dedicated fields; every other `<value> <unit>` pair (the
+// b.ReportMetric outputs: slo-extension-x, latency-gain-x, ...) lands in
+// Metrics keyed by unit.
+type Result struct {
+	Name        string             `json:"name"`              // "BenchmarkFigure4a" (GOMAXPROCS suffix stripped)
+	Procs       int                `json:"procs"`             // from the -N name suffix; 1 when absent
+	Iterations  int64              `json:"iterations"`        // b.N of the measured run
+	NsPerOp     float64            `json:"ns_per_op"`         // wall time per iteration
+	BytesPerOp  float64            `json:"bytes_per_op"`      // -benchmem B/op
+	AllocsPerOp float64            `json:"allocs_per_op"`     // -benchmem allocs/op
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// ParseLine parses one line of `go test -bench` output. ok is false for
+// lines that are not benchmark results (headers, tables, PASS).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	// Name must be "Benchmark" followed by an uppercase rune or a
+	// GOMAXPROCS suffix — the same rule the testing package applies —
+	// so prose starting with the word "Benchmark" can't alias a result.
+	if rest := fields[0][len("Benchmark"):]; rest != "" &&
+		!strings.HasPrefix(rest, "-") && (rest[0] < 'A' || rest[0] > 'Z') {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Procs: 1, Iterations: iters}
+	if i := strings.LastIndex(r.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil && p > 0 {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	// The remainder is `<value> <unit>` pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	sawNs := false
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp, sawNs = v, true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	if !sawNs {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// Parse reads a full `go test -bench` transcript and returns the results
+// in input order.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	return out, nil
+}
+
+// WriteJSON renders results as an indented JSON array, sorted by name so
+// two runs of the same suite diff cleanly even if -shuffle reorders them.
+func WriteJSON(w io.Writer, results []Result) error {
+	sorted := append([]Result(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sorted)
+}

@@ -1,0 +1,92 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLineCanonical(t *testing.T) {
+	r, ok := ParseLine("BenchmarkFigure4a-8   \t       3\t 401310074 ns/op\t     1.93 slo-extension-x\t    2048 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("canonical line did not parse")
+	}
+	if r.Name != "BenchmarkFigure4a" || r.Procs != 8 || r.Iterations != 3 {
+		t.Errorf("name/procs/iters = %q/%d/%d", r.Name, r.Procs, r.Iterations)
+	}
+	if r.NsPerOp != 401310074 || r.BytesPerOp != 2048 || r.AllocsPerOp != 12 {
+		t.Errorf("ns/B/allocs = %v/%v/%v", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if r.Metrics["slo-extension-x"] != 1.93 {
+		t.Errorf("custom metric = %v", r.Metrics)
+	}
+}
+
+func TestParseLineNoSuffixNoBenchmem(t *testing.T) {
+	r, ok := ParseLine("BenchmarkTiny 1000000 512 ns/op")
+	if !ok {
+		t.Fatal("minimal line did not parse")
+	}
+	if r.Name != "BenchmarkTiny" || r.Procs != 1 || r.NsPerOp != 512 {
+		t.Errorf("got %+v", r)
+	}
+	if r.BytesPerOp != 0 || r.AllocsPerOp != 0 || r.Metrics != nil {
+		t.Errorf("absent columns must stay zero: %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \te2ebatch\t92.1s",
+		"Benchmark results follow in the table below, as always",
+		"BenchmarkBroken notanumber 512 ns/op",
+		"BenchmarkOdd 10 512 ns/op trailing",
+		"BenchmarkNoNs 10 512 B/op",
+		"",
+	} {
+		if r, ok := ParseLine(line); ok {
+			t.Errorf("line %q parsed as %+v", line, r)
+		}
+	}
+}
+
+func TestParseTranscriptAndWriteJSON(t *testing.T) {
+	transcript := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"",
+		"| figure table | passes through |",
+		"BenchmarkZeta-4 10 100 ns/op 8 B/op 1 allocs/op",
+		"BenchmarkAlpha-4 20 200 ns/op 3.5 gain-x",
+		"PASS",
+	}, "\n")
+	results, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "BenchmarkZeta" {
+		t.Fatalf("parse kept input order, want 2 results Zeta-first: %+v", results)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Result
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(decoded) != 2 || decoded[0].Name != "BenchmarkAlpha" || decoded[1].Name != "BenchmarkZeta" {
+		t.Errorf("JSON must be name-sorted: %+v", decoded)
+	}
+	if decoded[1].AllocsPerOp != 1 || decoded[0].Metrics["gain-x"] != 3.5 {
+		t.Errorf("round-trip lost fields: %+v", decoded)
+	}
+	// The source slice must not be reordered by rendering.
+	if results[0].Name != "BenchmarkZeta" {
+		t.Error("WriteJSON mutated its input slice order")
+	}
+}

@@ -78,6 +78,16 @@ type AIMDPolicy struct {
 	SLO time.Duration
 }
 
+// Observer receives every tick's full result for telemetry. It is the
+// engine's export seam to the observability plane (internal/obs): the
+// engine never imports obs, and a nil observer costs nothing — no extra
+// allocations, no extra calls — so golden-pinned simulation runs are
+// byte-identical with and without the plane compiled in. ObserveTick runs
+// on the tick goroutine; implementations must not block it.
+type Observer interface {
+	ObserveTick(now qstate.Time, r TickResult)
+}
+
 // Config parameterizes an Endpoint. At most one of Controller and AIMD may
 // be set; with neither, the endpoint is a passive estimator (Tick updates
 // estimates and accounting but applies nothing) — the probe mode the
@@ -101,6 +111,12 @@ type Config struct {
 	// OnTick, when non-nil, observes every tick's result after the
 	// decision is applied (e.g. to accumulate an online-estimate series).
 	OnTick func(now qstate.Time, r TickResult)
+	// Observer, when non-nil, additionally receives every tick's result
+	// with the raw port samples attached (TickResult.Samples) — the
+	// telemetry hook. Unlike OnTick it is an interface so backends can
+	// thread it through their option structs without importing the
+	// observability plane.
+	Observer Observer
 }
 
 // TickResult is what one decision tick produced.
@@ -116,6 +132,12 @@ type TickResult struct {
 	// passive endpoints and for AIMD ticks skipped on invalid estimates.
 	Mode    policy.Mode
 	Applied bool
+	// ApplyErrors counts the ports whose Apply failed on this tick.
+	ApplyErrors int
+	// Samples holds the raw per-port samples the tick consumed. It is
+	// populated only when Config.Observer is set, so observer-less runs
+	// stay allocation-identical to pre-telemetry builds.
+	Samples []core.Sample
 }
 
 // Stats counts an endpoint's activity.
@@ -170,8 +192,15 @@ func New(cfg Config, ports ...Port) *Endpoint {
 func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 	var r TickResult
 	r.PerPort = make([]core.Estimate, len(ep.ports))
+	if ep.cfg.Observer != nil {
+		r.Samples = make([]core.Sample, len(ep.ports))
+	}
 	for i, p := range ep.ports {
-		e := ep.ests[i].Update(p.Snapshot(now))
+		s := p.Snapshot(now)
+		if r.Samples != nil {
+			r.Samples[i] = s
+		}
+		e := ep.ests[i].Update(s)
 		if p.SelfContained() {
 			// A hints sample spans the full round trip by itself;
 			// absent peer metadata is not a degradation there.
@@ -200,7 +229,7 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 		} else {
 			m = ep.cfg.Controller.Observe(r.Estimate.Latency, r.Estimate.Throughput, r.Estimate.Valid)
 		}
-		ep.apply(ep.decisionFor(m))
+		r.ApplyErrors = ep.apply(ep.decisionFor(m))
 		r.Mode, r.Applied = m, true
 		if m == policy.BatchOn {
 			ep.stats.OnTicks++
@@ -210,7 +239,7 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 			a := ep.cfg.AIMD
 			limit := a.Ctl.Observe(r.Estimate.Latency > a.SLO)
 			batch := !a.Ctl.AtFloor()
-			ep.apply(Decision{Batch: batch, CorkBytes: limit})
+			r.ApplyErrors = ep.apply(Decision{Batch: batch, CorkBytes: limit})
 			r.Applied = true
 			if batch {
 				r.Mode = policy.BatchOn
@@ -228,6 +257,9 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 	if ep.cfg.OnTick != nil {
 		ep.cfg.OnTick(now, r)
 	}
+	if ep.cfg.Observer != nil {
+		ep.cfg.Observer.ObserveTick(now, r)
+	}
 	return r
 }
 
@@ -241,20 +273,22 @@ func (ep *Endpoint) decisionFor(m policy.Mode) Decision {
 	return d
 }
 
-// apply installs d on every port, in port order, tracking failures.
-func (ep *Endpoint) apply(d Decision) {
-	failed := false
+// apply installs d on every port, in port order, tracking failures. It
+// returns how many ports failed, for the tick result.
+func (ep *Endpoint) apply(d Decision) int {
+	failed := 0
 	for _, p := range ep.ports {
 		if err := p.Apply(d); err != nil {
 			ep.stats.ModeErrors++
-			failed = true
+			failed++
 		}
 	}
-	if failed {
+	if failed > 0 {
 		ep.modeErrRun++
 	} else {
 		ep.modeErrRun = 0
 	}
+	return failed
 }
 
 // allDegraded reports whether every estimate in es is degraded — the

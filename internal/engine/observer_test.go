@@ -1,0 +1,157 @@
+package engine_test
+
+// Observer-seam coverage: the hook must see exactly the ticks the endpoint
+// accounts for, carry per-port snapshots only when attached, and never
+// change what Tick returns. (Byte-identity of golden figure output with a
+// nil observer is pinned separately by the figures golden tests, which run
+// the full simulated pipeline with no observer configured.)
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
+)
+
+// recordingObserver retains every ObserveTick delivery.
+type recordingObserver struct {
+	at []qstate.Time
+	rs []engine.TickResult
+}
+
+func (o *recordingObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
+	o.at = append(o.at, now)
+	o.rs = append(o.rs, r)
+}
+
+func TestObserverReceivesEveryTickExactly(t *testing.T) {
+	p1, p2 := newFakePort(), newFakePort()
+	p1.remote = true
+	p2.remote = true
+	ctl := &fakeController{mode: policy.BatchOn}
+	ob := &recordingObserver{}
+	ep := engine.New(engine.Config{Controller: ctl, Observer: ob}, p1, p2)
+
+	ticks := []qstate.Time{0, 3 * ms, 6 * ms, 9 * ms}
+	var returned []engine.TickResult
+	for i, now := range ticks {
+		if i > 0 {
+			p1.busy(now-2*ms, ms)
+			p2.busy(now-2*ms, ms)
+		}
+		returned = append(returned, ep.Tick(now))
+	}
+
+	if len(ob.rs) != len(ticks) {
+		t.Fatalf("observer saw %d ticks, engine ran %d", len(ob.rs), len(ticks))
+	}
+	st := ep.Stats()
+	if len(ob.rs) != st.TotalTicks {
+		t.Fatalf("observer ticks %d != Stats().TotalTicks %d", len(ob.rs), st.TotalTicks)
+	}
+	var valid int
+	for i := range ob.rs {
+		if ob.at[i] != ticks[i] {
+			t.Errorf("tick %d delivered at %v, want %v", i, ob.at[i], ticks[i])
+		}
+		if ob.rs[i].Estimate.Valid {
+			valid++
+		}
+		// The observer's copy and the caller's return value are the same
+		// accounting — Samples included.
+		if !reflect.DeepEqual(ob.rs[i], returned[i]) {
+			t.Errorf("tick %d: observer got %+v, caller got %+v", i, ob.rs[i], returned[i])
+		}
+		if len(ob.rs[i].Samples) != 2 {
+			t.Fatalf("tick %d: %d samples, want one per port", i, len(ob.rs[i].Samples))
+		}
+		for _, s := range ob.rs[i].Samples {
+			if s.At != ticks[i] || !s.RemoteOK {
+				t.Errorf("tick %d: sample %+v not snapshotted at tick time", i, s)
+			}
+		}
+	}
+	if valid != st.ValidEstimates {
+		t.Errorf("observer counted %d valid estimates, Stats says %d", valid, st.ValidEstimates)
+	}
+}
+
+func TestNilObserverCarriesNoSamples(t *testing.T) {
+	mk := func(o engine.Observer) engine.TickResult {
+		p := newFakePort()
+		p.self = true
+		ep := engine.New(engine.Config{Controller: &fakeController{}, Observer: o}, p)
+		ep.Tick(0)
+		p.busy(1*ms, ms)
+		return ep.Tick(3 * ms)
+	}
+	if r := mk(nil); r.Samples != nil {
+		t.Fatalf("nil observer: Samples = %v, want nil (hot path must not allocate them)", r.Samples)
+	}
+	if r := mk(&recordingObserver{}); len(r.Samples) != 1 {
+		t.Fatalf("attached observer: Samples = %v, want the port snapshot", r.Samples)
+	}
+}
+
+func TestObserverSeesApplyErrors(t *testing.T) {
+	good, bad := newFakePort(), newFakePort()
+	good.self, bad.self = true, true
+	bad.applyErr = errors.New("setsockopt: boom")
+	ctl := &fakeController{mode: policy.BatchOn} // differs from Initial → re-apply every tick
+	ob := &recordingObserver{}
+	ep := engine.New(engine.Config{
+		Controller: ctl,
+		Initial:    policy.BatchOff,
+		Observer:   ob,
+	}, good, bad)
+	// New() applies Initial synchronously, before any tick exists for an
+	// observer to see; only tick-time failures can flow through the hook.
+	initialErrs := ep.Stats().ModeErrors
+
+	ep.Tick(0)
+	good.busy(1*ms, ms)
+	bad.busy(1*ms, ms)
+	ep.Tick(3 * ms)
+
+	last := ob.rs[len(ob.rs)-1]
+	if !last.Applied || last.ApplyErrors != 1 {
+		t.Fatalf("tick result = %+v, want applied with exactly the bad port's error counted", last)
+	}
+	if ep.Stats().ModeErrors == 0 {
+		t.Fatal("endpoint stats should account the same failure")
+	}
+	var total int
+	for _, r := range ob.rs {
+		total += r.ApplyErrors
+	}
+	if got := ep.Stats().ModeErrors - initialErrs; total != got {
+		t.Fatalf("observer apply errors %d != tick-time ModeErrors %d", total, got)
+	}
+}
+
+func TestObserverDeliveryOrderIsPostApply(t *testing.T) {
+	// The record delivered for tick N must already include tick N's apply
+	// outcome (not lag one tick): flip the controller mode mid-run and
+	// check the observer sees the flip on the same tick the port does.
+	p := newFakePort()
+	p.self = true
+	ctl := &fakeController{mode: policy.BatchOff}
+	ob := &recordingObserver{}
+	ep := engine.New(engine.Config{Controller: ctl, Observer: ob}, p)
+
+	ep.Tick(0)
+	p.busy(1*ms, ms)
+	ctl.mode = policy.BatchOn
+	ep.Tick(3 * ms)
+
+	last := ob.rs[len(ob.rs)-1]
+	if last.Mode != policy.BatchOn || !last.Applied {
+		t.Fatalf("observer record = %+v, want the batch-on apply visible on its own tick", last)
+	}
+	if applied := p.applied[len(p.applied)-1]; !applied.Batch {
+		t.Fatalf("port last apply = %+v, want batch-on", applied)
+	}
+}

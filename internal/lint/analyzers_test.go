@@ -48,6 +48,18 @@ func TestEngineWiringGoldenUnrestricted(t *testing.T) {
 	runExpectNone(t, EngineWiring, "enginewiring")
 }
 
+func TestObsDeterminismGoldenRestricted(t *testing.T) {
+	// The testdata stands in for a golden-determinism package.
+	runGoldenAs(t, ObsDeterminism, "obsdeterminism", "e2ebatch/internal/figures")
+}
+
+func TestObsDeterminismGoldenUnrestricted(t *testing.T) {
+	// The same code outside sim/tcpsim/figures (realtcp, cmd/, examples) is
+	// exactly where obs is supposed to be used, so every want comment must
+	// go unmatched.
+	runExpectNone(t, ObsDeterminism, "obsdeterminism")
+}
+
 func TestMutexHoldGoldenUnrestricted(t *testing.T) {
 	// Outside qstate/core/policy the same code is not this analyzer's
 	// business (realtcp's server does socket I/O under its own locks by

@@ -1,7 +1,7 @@
 // Package lint is e2ebatch's project-specific static analysis suite: a
 // small analyzer framework (deliberately shaped after
 // golang.org/x/tools/go/analysis, but built on the standard library alone so
-// the repo stays dependency-free) plus seven analyzers that mechanically
+// the repo stays dependency-free) plus eight analyzers that mechanically
 // enforce the concurrency, determinism and single-control-loop invariants
 // the estimator's correctness depends on. The rules themselves live in one file per
 // analyzer; DESIGN.md §8 "Enforced invariants" maps each rule to the paper
@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		WireSize,
 		MutexHold,
 		EngineWiring,
+		ObsDeterminism,
 	}
 }
 

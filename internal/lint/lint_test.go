@@ -7,8 +7,8 @@ import (
 
 func TestAnalyzerRegistry(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 7 {
-		t.Fatalf("suite has %d analyzers, want 7 (locksafety, detrand, wallclock, snapshotpair, wiresize, mutexhold, enginewiring)", len(as))
+	if len(as) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8 (locksafety, detrand, wallclock, snapshotpair, wiresize, mutexhold, enginewiring, obsdeterminism)", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// goldenPackages are the packages whose output is pinned byte-for-byte by
+// golden tests: the discrete-event simulator, the simulated TCP stack, and
+// the figure runners. The PR-8 telemetry plane is deliberately kept out of
+// all three — a registry increment or ring push on a simulated hot path is
+// a side channel that can reorder allocations, perturb timings under
+// -race, and quietly grow into control flow ("if counter > N").
+var goldenPackages = []string{
+	"e2ebatch/internal/sim",
+	"e2ebatch/internal/tcpsim",
+	"e2ebatch/internal/figures",
+}
+
+// ObsDeterminism forbids any reference to internal/obs — imports, registry
+// reads or writes, ring pushes, type references — inside the
+// golden-determinism packages. Telemetry reaches simulated runs only
+// through the engine.Observer hook (an interface defined in
+// internal/engine, so accepting one needs no obs import), which the golden
+// tests run with a nil observer; everything else exports post-hoc from a
+// finished trace.Log.
+var ObsDeterminism = &Analyzer{
+	Name: "obsdeterminism",
+	Doc:  "forbid internal/obs references inside golden-determinism packages",
+	Run:  runObsDeterminism,
+}
+
+const obsPath = "e2ebatch/internal/obs"
+
+func runObsDeterminism(p *Pass) {
+	path := p.Pkg.Path()
+	if !pathIsOneOf(path, goldenPackages...) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if ip, err := strconv.Unquote(imp.Path.Value); err == nil && ip == obsPath {
+				p.Reportf(imp.Pos(),
+					"import of %s in golden-determinism package %s: telemetry may only enter through an engine.Observer hook",
+					obsPath, path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[id]
+			// The qualifier ident ("obs" in obs.NewRegistry) resolves to a
+			// PkgName owned by the importing package, so only the selected
+			// object itself matches here — one finding per use, not two.
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+				return true
+			}
+			p.Reportf(id.Pos(),
+				"use of %s.%s in golden-determinism package %s: obs must stay behind the engine.Observer seam so golden figure output cannot be perturbed",
+				obsPath, obj.Name(), path)
+			return true
+		})
+	}
+}

@@ -1,0 +1,49 @@
+// Package obsdeterminism is golden testdata for e2elint/obsdeterminism;
+// the test loads it under the import path of a golden-determinism package
+// (internal/figures) and again under an unrestricted path, expecting
+// silence there.
+package obsdeterminism
+
+import (
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/obs" // want "import of e2ebatch/internal/obs in golden-determinism package"
+	"e2ebatch/internal/qstate"
+)
+
+// registryTraffic is the core violation: counting and timing from inside a
+// golden-pinned run perturbs what the goldens pin.
+func registryTraffic() {
+	reg := obs.NewRegistry()                         // want "use of e2ebatch/internal/obs.NewRegistry"
+	ticks := reg.Counter("sim_ticks_total", "ticks") // want "use of e2ebatch/internal/obs.Counter"
+	ticks.Inc()                                      // want "use of e2ebatch/internal/obs.Inc"
+	reg.Gauge("sim_depth", "queue depth").Set(3)     // want "use of e2ebatch/internal/obs.Gauge" "use of e2ebatch/internal/obs.Set"
+	_ = reg.Latencies("sim_latency_seconds", "lat")  // want "use of e2ebatch/internal/obs.Latencies"
+}
+
+// ringTraffic: pushing decision records from simulated code is just as
+// ordering-sensitive as metric writes.
+func ringTraffic() {
+	ring := obs.NewRing(8)         // want "use of e2ebatch/internal/obs.NewRing"
+	ring.Push(&obs.DecisionRecord{ // want "use of e2ebatch/internal/obs.Push" "use of e2ebatch/internal/obs.DecisionRecord"
+		Endpoint: "sim", // want "use of e2ebatch/internal/obs.Endpoint"
+	})
+}
+
+// typeReferences: even holding an obs type in a struct couples the golden
+// path to the telemetry plane.
+type instrumented struct {
+	reg *obs.Registry // want "use of e2ebatch/internal/obs.Registry"
+}
+
+// observerHook is the sanctioned seam: engine.Observer is defined in
+// internal/engine, so accepting, storing and invoking one references
+// nothing in obs and stays silent.
+type observerHook struct {
+	o engine.Observer
+}
+
+func (h *observerHook) tick(now qstate.Time, r engine.TickResult) {
+	if h.o != nil {
+		h.o.ObserveTick(now, r)
+	}
+}

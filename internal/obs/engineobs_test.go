@@ -1,0 +1,265 @@
+package obs_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/obs"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/trace"
+)
+
+// obsPort scripts a single-queue connection with optional peer metadata —
+// the same shape the engine tests use, here to drive a full observer.
+type obsPort struct {
+	st       qstate.State
+	remote   bool
+	remoteAt qstate.Time
+	self     bool
+	fail     bool
+}
+
+func newObsPort() *obsPort {
+	p := &obsPort{}
+	p.st.Init(0)
+	return p
+}
+
+func (p *obsPort) busy(t, dt qstate.Time) {
+	p.st.Track(t, 1)
+	p.st.Track(t+dt, -1)
+}
+
+func (p *obsPort) Snapshot(now qstate.Time) core.Sample {
+	s := core.Sample{Local: core.Queues{Unacked: p.st.Snapshot(now)}, At: now}
+	if p.remote {
+		s.RemoteOK = true
+		s.RemoteAt = p.remoteAt
+	}
+	return s
+}
+
+func (p *obsPort) Apply(engine.Decision) error {
+	if p.fail {
+		return errFail
+	}
+	return nil
+}
+
+func (p *obsPort) SelfContained() bool { return p.self }
+
+var errFail = errorString("apply failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+const ms = qstate.Time(time.Millisecond)
+
+// TestObserverMatchesEndpointAccounting pins the observer's counters to the
+// endpoint's own Stats over a run that exercises valid, degraded and
+// mode-flip ticks — the decision stream and the accounting must agree
+// exactly.
+func TestObserverMatchesEndpointAccounting(t *testing.T) {
+	p := newObsPort()
+	p.self = true
+	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: time.Millisecond},
+		policy.DefaultTogglerConfig(), policy.BatchOff, rand.New(rand.NewSource(3)))
+
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(128)
+	em := obs.NewEngineMetrics(reg)
+	ob := obs.NewEngineObserver(em, ring)
+	ob.Name = "test"
+	ob.Stats = tog.Stats
+
+	ep := engine.New(engine.Config{
+		Controller: tog,
+		Initial:    policy.BatchOff,
+		Observer:   ob,
+	}, p)
+
+	const ticks = 50
+	for i := 0; i < ticks; i++ {
+		now := qstate.Time(i) * 2 * ms
+		p.busy(now+ms/4, ms/2)
+		ep.Tick(now + ms)
+	}
+
+	st := ep.Stats()
+	if em.Ticks.Value() != uint64(st.TotalTicks) {
+		t.Errorf("ticks counter = %d, endpoint says %d", em.Ticks.Value(), st.TotalTicks)
+	}
+	if em.OnTicks.Value() != uint64(st.OnTicks) {
+		t.Errorf("on-ticks counter = %d, endpoint says %d", em.OnTicks.Value(), st.OnTicks)
+	}
+	if em.DegradedTicks.Value() != uint64(st.DegradedTicks) {
+		t.Errorf("degraded counter = %d, endpoint says %d", em.DegradedTicks.Value(), st.DegradedTicks)
+	}
+	if em.ValidEstimates.Value() != uint64(st.ValidEstimates) {
+		t.Errorf("valid counter = %d, endpoint says %d", em.ValidEstimates.Value(), st.ValidEstimates)
+	}
+	ts := tog.Stats()
+	if em.Explorations.Value() != ts.Explorations {
+		t.Errorf("explorations counter = %d, toggler says %d", em.Explorations.Value(), ts.Explorations)
+	}
+	if em.Switches.Value() != ts.Switches {
+		t.Errorf("switches counter = %d, toggler says %d", em.Switches.Value(), ts.Switches)
+	}
+	if em.ModeFlips.Value() != ts.Switches {
+		t.Errorf("mode flips = %d, toggler switched %d times", em.ModeFlips.Value(), ts.Switches)
+	}
+	if em.Records.Value() != uint64(ticks) || ring.Len() != uint64(ticks) {
+		t.Errorf("records = %d / ring %d, want %d", em.Records.Value(), ring.Len(), ticks)
+	}
+
+	// The decision stream must replay the accounting: per-record flags
+	// re-aggregate to the same totals.
+	recs := ring.Last(ticks)
+	if len(recs) != 128 && len(recs) != ticks {
+		t.Fatalf("ring returned %d records", len(recs))
+	}
+	var valid, degraded, on, explored int
+	for i, r := range recs {
+		if r.Endpoint != "test" || !r.Applied || r.Ports != 1 {
+			t.Fatalf("record %d = %+v, want applied single-port from endpoint test", i, r)
+		}
+		if r.Valid {
+			valid++
+		}
+		if r.Degraded {
+			degraded++
+		}
+		if r.Mode == policy.BatchOn.String() {
+			on++
+		}
+		if r.Explored {
+			explored++
+		}
+		if r.Snapshot.Unacked.Time != r.At {
+			t.Fatalf("record %d snapshot tuple not taken at tick time: %+v", i, r)
+		}
+	}
+	if valid != st.ValidEstimates || degraded != st.DegradedTicks || on != st.OnTicks {
+		t.Errorf("records re-aggregate to valid=%d degraded=%d on=%d, stats say %d/%d/%d",
+			valid, degraded, on, st.ValidEstimates, st.DegradedTicks, st.OnTicks)
+	}
+	if uint64(explored) != ts.Explorations {
+		t.Errorf("records show %d explorations, toggler says %d", explored, ts.Explorations)
+	}
+}
+
+// TestObserverDegradedAndSafeMode drives the estimator into staleness so
+// the toggler retreats, and checks staleness age, stale-tick and
+// safe-mode-entry metrics.
+func TestObserverDegradedAndSafeMode(t *testing.T) {
+	p := newObsPort()
+	p.remote = true
+	cfg := policy.DefaultTogglerConfig()
+	cfg.Epsilon = 0 // no exploration noise in this test
+	tog := policy.NewToggler(policy.ThroughputUnderSLO{SLO: time.Millisecond},
+		cfg, policy.BatchOn, rand.New(rand.NewSource(1)))
+
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(64)
+	em := obs.NewEngineMetrics(reg)
+	ob := obs.NewEngineObserver(em, ring)
+	ob.Stats = tog.Stats
+
+	ep := engine.New(engine.Config{
+		Controller:   tog,
+		Initial:      policy.BatchOn,
+		MaxRemoteAge: 3 * time.Millisecond,
+		Observer:     ob,
+	}, p)
+
+	// Fresh metadata first: staleness gauge tracks now-RemoteAt.
+	p.remoteAt = 0
+	p.busy(ms/4, ms/2)
+	ep.Tick(ms)
+	p.busy(ms+ms/4, ms/2)
+	ep.Tick(2 * ms)
+	if got, want := em.StalenessAge.Value(), (2 * time.Millisecond).Seconds(); got != want {
+		t.Fatalf("staleness gauge = %v, want %v", got, want)
+	}
+
+	// Let the metadata age out: ticks degrade as remote-stale and, after
+	// DegradedAfter in a row, the toggler retreats to safe mode.
+	for i := 3; i <= 12; i++ {
+		now := qstate.Time(i) * ms
+		p.busy(now-ms/2, ms/4)
+		ep.Tick(now)
+	}
+	if em.RemoteStale.Value() == 0 {
+		t.Error("no remote-stale ticks counted after metadata aged out")
+	}
+	if em.DegradedTicks.Value() == 0 {
+		t.Error("no degraded ticks counted")
+	}
+	ts := tog.Stats()
+	if ts.SafeFallbacks == 0 {
+		t.Fatal("test never forced a safe-mode retreat; adjust the drive")
+	}
+	if em.SafeModeEnters.Value() != ts.SafeFallbacks {
+		t.Errorf("safe-mode entries = %d, toggler says %d", em.SafeModeEnters.Value(), ts.SafeFallbacks)
+	}
+	recs := ring.Last(4)
+	if len(recs) == 0 || !recs[len(recs)-1].RemoteStale || recs[len(recs)-1].Mode != policy.BatchOff.String() {
+		t.Errorf("last records should show remote-stale safe mode, got %+v", recs[len(recs)-1])
+	}
+}
+
+// TestObserverApplyErrors counts per-port apply failures.
+func TestObserverApplyErrors(t *testing.T) {
+	p := newObsPort()
+	p.self = true
+	p.fail = true
+	reg := obs.NewRegistry()
+	em := obs.NewEngineMetrics(reg)
+	ep := engine.New(engine.Config{
+		Controller: constController(policy.BatchOn),
+		Initial:    policy.BatchOn,
+		Observer:   obs.NewEngineObserver(em, nil),
+	}, p)
+	for i := 1; i <= 4; i++ {
+		ep.Tick(qstate.Time(i) * ms)
+	}
+	if em.ApplyErrors.Value() != 4 {
+		t.Fatalf("apply errors = %d, want 4 (one per tick; the initial New apply is pre-observer)", em.ApplyErrors.Value())
+	}
+}
+
+// constController always picks one mode.
+type constController policy.Mode
+
+func (c constController) Observe(time.Duration, float64, bool) policy.Mode { return policy.Mode(c) }
+func (c constController) ObserveDegraded() policy.Mode                     { return policy.Mode(c) }
+func (c constController) Mode() policy.Mode                                { return policy.Mode(c) }
+func (c constController) Stats() policy.TogglerStats                       { return policy.TogglerStats{} }
+
+func TestCountTraceEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	var log trace.Log
+	log.AddEvent(0, "loss-burst", "p=0.5")
+	log.AddEvent(1, "loss-burst", "end")
+	log.AddEvent(2, "reset", "")
+	obs.CountTraceEvents(reg, &log)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`e2e_fault_activations_total{kind="loss-burst"} 2`,
+		`e2e_fault_activations_total{kind="reset"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"e2ebatch/internal/realtcp"
+)
+
+// InstrumentReconnector exports a realtcp.Reconnector's redial telemetry
+// on reg as scrape-time gauges: attempts (every backoff redial, failed or
+// not) and resets (successful reconnections). The counters stay owned by
+// the reconnector — no double bookkeeping, no extra work on the redial
+// path.
+func InstrumentReconnector(reg *Registry, r *realtcp.Reconnector, labels ...Label) {
+	reg.GaugeFunc("e2e_reconnect_attempts_total",
+		"Redial attempts made by the self-healing client wrapper.",
+		func() float64 { return float64(r.Attempts()) }, labels...)
+	reg.GaugeFunc("e2e_reconnect_resets_total",
+		"Successful reconnections (fresh counters, re-primed estimator).",
+		func() float64 { return float64(r.Resets()) }, labels...)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/qstate"
+)
+
+// SnapTuple is one queue's (time, total, integral) 3-tuple as carried in a
+// decision record — the same tuple Algorithm 1 exports and the metadata
+// exchange ships.
+type SnapTuple struct {
+	Time     int64 `json:"time_ns"`
+	Total    int64 `json:"total"`
+	Integral int64 `json:"integral"`
+}
+
+func tuple(s qstate.Snapshot) SnapTuple {
+	return SnapTuple{Time: int64(s.Time), Total: s.Total, Integral: s.Integral}
+}
+
+// SnapQueues is one endpoint's three monitored queues in a record.
+type SnapQueues struct {
+	Unacked  SnapTuple `json:"unacked"`
+	Unread   SnapTuple `json:"unread"`
+	AckDelay SnapTuple `json:"ackdelay"`
+}
+
+func snapQueues(q core.Queues) SnapQueues {
+	return SnapQueues{Unacked: tuple(q.Unacked), Unread: tuple(q.Unread), AckDelay: tuple(q.AckDelay)}
+}
+
+// DecisionRecord is one engine tick as the telemetry plane saw it: which
+// snapshot produced which estimate, how the estimate decomposed into local
+// and remote views, whether the tick was degraded, whether the policy
+// explored, what mode came out, and whether applying it succeeded. Records
+// are immutable once published.
+type DecisionRecord struct {
+	// Seq is the record's position in the endpoint's decision stream
+	// (0-based, monotone).
+	Seq uint64 `json:"seq"`
+	// At is the tick timestamp on the endpoint's clock, in nanoseconds
+	// (virtual time under the sim, Client.Elapsed on real sockets).
+	At int64 `json:"at_ns"`
+	// Endpoint names the emitting endpoint when several share a ring.
+	Endpoint string `json:"endpoint,omitempty"`
+	// Ports is the endpoint's port count (estimates aggregate over them).
+	Ports int `json:"ports"`
+
+	// Snapshot is port 0's local queue tuples at the tick; RemoteOK and
+	// RemoteAt describe the peer metadata that accompanied it.
+	Snapshot   SnapQueues `json:"snapshot"`
+	RemoteOK   bool       `json:"remote_ok"`
+	RemoteAtNs int64      `json:"remote_at_ns,omitempty"`
+
+	// The estimate's components: the two §3.2 evaluations and the
+	// combined result.
+	LocalViewNs      int64   `json:"local_view_ns"`
+	LocalViewValid   bool    `json:"local_view_valid"`
+	RemoteViewNs     int64   `json:"remote_view_ns"`
+	RemoteViewValid  bool    `json:"remote_view_valid"`
+	LatencyNs        int64   `json:"latency_ns"`
+	ThroughputPerSec float64 `json:"throughput_rps"`
+	Valid            bool    `json:"valid"`
+	Degraded         bool    `json:"degraded"`
+	RemoteStale      bool    `json:"remote_stale"`
+
+	// The decision: explore-vs-exploit, the chosen mode, and the apply
+	// outcome.
+	Explored    bool   `json:"explored"`
+	Mode        string `json:"mode"`
+	Applied     bool   `json:"applied"`
+	ApplyErrors int    `json:"apply_errors"`
+}
+
+// Ring is a fixed-capacity ring buffer of decision records with lock-free
+// reads: writers publish immutable records through atomic pointers, readers
+// copy pointers out with atomic loads. No reader can block a tick and no
+// tick can tear a read. Writes from multiple endpoints are safe (slots are
+// claimed with an atomic counter); per-endpoint record order is preserved
+// because each endpoint ticks on one goroutine.
+type Ring struct {
+	slots []atomic.Pointer[DecisionRecord]
+	next  atomic.Uint64 // sequence of the next record to be written
+}
+
+// NewRing returns a ring holding the last n records (n <= 0 defaults to
+// 1024).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{slots: make([]atomic.Pointer[DecisionRecord], n)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns how many records have ever been pushed.
+func (r *Ring) Len() uint64 { return r.next.Load() }
+
+// Push publishes rec, stamping its Seq. The caller must not mutate rec
+// afterwards.
+func (r *Ring) Push(rec *DecisionRecord) {
+	seq := r.next.Add(1) - 1
+	rec.Seq = seq
+	r.slots[seq%uint64(len(r.slots))].Store(rec)
+}
+
+// Last returns up to n of the most recent records, oldest first. It never
+// blocks writers; records overwritten mid-read are simply skipped (their
+// slot then holds a newer record, which is filtered by sequence).
+func (r *Ring) Last(n int) []*DecisionRecord {
+	head := r.next.Load()
+	if n <= 0 || head == 0 {
+		return nil
+	}
+	if uint64(n) > head {
+		n = int(head)
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	out := make([]*DecisionRecord, 0, n)
+	for seq := head - uint64(n); seq < head; seq++ {
+		rec := r.slots[seq%uint64(len(r.slots))].Load()
+		if rec != nil && rec.Seq == seq {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the last n records as JSON Lines, oldest first.
+func (r *Ring) WriteJSONL(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Last(n) {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -31,6 +31,10 @@ type LoadOptions struct {
 	// ModeErrorLimit is how many consecutive failing mode applications
 	// are tolerated before degrading (default 3; negative disables).
 	ModeErrorLimit int
+	// Observer, when non-nil, receives every engine tick for telemetry
+	// (internal/obs wires an EngineObserver here). It runs on the tick
+	// goroutine and must not block.
+	Observer engine.Observer
 }
 
 // LoadReport summarizes a run.
@@ -77,7 +81,7 @@ func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{}
-	cfg := engine.Config{ModeErrorLimit: errLimit}
+	cfg := engine.Config{ModeErrorLimit: errLimit, Observer: opts.Observer}
 	if opts.Toggler != nil {
 		cfg.Controller = opts.Toggler
 		cfg.Initial = opts.Toggler.Mode()

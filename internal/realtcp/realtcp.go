@@ -40,6 +40,12 @@ type Server struct {
 	// Nagle controls whether accepted connections keep Nagle enabled
 	// (false sets TCP_NODELAY, Redis's default behaviour).
 	Nagle bool
+
+	// OnRequest, when non-nil, receives every command's server-side
+	// execution latency (parse-to-reply, excluding socket I/O) — the
+	// telemetry histogram feed. Set before Serve; it is called from
+	// connection-handler goroutines and must be safe for concurrent use.
+	OnRequest func(time.Duration)
 }
 
 // NewServer returns a server around engine.
@@ -141,9 +147,16 @@ func (s *Server) handle(conn net.Conn) {
 			if !ok {
 				break
 			}
+			var begin time.Time
+			if s.OnRequest != nil {
+				begin = time.Now()
+			}
 			s.mu.Lock()
 			reply := s.engine.Execute(cmd)
 			s.mu.Unlock()
+			if s.OnRequest != nil {
+				s.OnRequest(time.Since(begin))
+			}
 			if _, err := bw.Write(resp.AppendValue(nil, reply)); err != nil {
 				return
 			}
@@ -184,6 +197,7 @@ type Client struct {
 
 	latMu sync.Mutex
 	lats  []time.Duration
+	latFn func(time.Duration)
 
 	nodelay bool
 }
@@ -303,6 +317,16 @@ func (c *Client) Do(cmd []byte) error {
 // Outstanding returns requests awaiting responses.
 func (c *Client) Outstanding() int64 { return c.tracker.Outstanding() }
 
+// ObserveLatencies installs fn to receive every per-request latency as it
+// completes, alongside the drain-style Latencies accumulation — the live
+// feed a telemetry histogram wants. fn runs on the read-loop goroutine and
+// must not block; pass nil to detach.
+func (c *Client) ObserveLatencies(fn func(time.Duration)) {
+	c.latMu.Lock()
+	c.latFn = fn
+	c.latMu.Unlock()
+}
+
 // Latencies drains and returns the per-request latencies recorded so far.
 func (c *Client) Latencies() []time.Duration {
 	c.latMu.Lock()
@@ -358,7 +382,11 @@ func (c *Client) readLoop() {
 					lat := time.Since(sentAt)
 					c.latMu.Lock()
 					c.lats = append(c.lats, lat)
+					fn := c.latFn
 					c.latMu.Unlock()
+					if fn != nil {
+						fn(lat)
+					}
 				default:
 					c.fail(errors.New("realtcp: response without pending request"))
 					return

@@ -51,10 +51,11 @@ type Reconnector struct {
 	addr string
 	cfg  ReconnectConfig
 
-	mu     sync.Mutex
-	client *Client
-	resets uint64
-	closed bool
+	mu       sync.Mutex
+	client   *Client
+	resets   uint64
+	attempts uint64
+	closed   bool
 }
 
 // DialReconnect connects once (so startup failures surface immediately)
@@ -83,6 +84,15 @@ func (r *Reconnector) Resets() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.resets
+}
+
+// Attempts returns how many redials have been tried, successful or not —
+// with Resets, the backoff telemetry pair (attempts - resets = failures).
+// The initial DialReconnect connect is not counted.
+func (r *Reconnector) Attempts() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempts
 }
 
 // Client returns the current underlying client (for instrumentation; it may
@@ -148,6 +158,7 @@ func (r *Reconnector) reconnect(dead *Client) error {
 				backoff = r.cfg.BackoffMax
 			}
 		}
+		r.attempts++
 		c, err := r.dial()
 		if err != nil {
 			lastErr = err

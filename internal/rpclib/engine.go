@@ -53,10 +53,19 @@ func (p clientPort) SelfContained() bool { return true }
 // runs. corkBytes is the threshold installed while batching. Stop the
 // returned endpoint to halt the loop.
 func (c *Client) StartControl(ctl engine.Controller, interval time.Duration, corkBytes int) *engine.Endpoint {
+	return c.StartControlObserved(ctl, interval, corkBytes, nil)
+}
+
+// StartControlObserved is StartControl with a telemetry observer attached
+// to the endpoint (nil behaves exactly like StartControl). The observer
+// runs on the simulation's event goroutine; it must not block, and — per
+// the determinism contract — must not feed anything back into the run.
+func (c *Client) StartControlObserved(ctl engine.Controller, interval time.Duration, corkBytes int, o engine.Observer) *engine.Endpoint {
 	ep := engine.New(engine.Config{
 		Controller:  ctl,
 		Initial:     ctl.Mode(),
 		CorkOnBytes: corkBytes,
+		Observer:    o,
 	}, c.Port())
 	ep.Start(engine.SimClock{Sim: c.s}, interval)
 	return ep

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint build test race obs-smoke cover bench clean
+.PHONY: tier1 vet lint build test race obs-smoke cover bench bench-diff fidelity-smoke clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -12,13 +12,17 @@ GOFMT ?= gofmt
 #          ├─ lint ─→ build   (e2elint resolves imports via build artifacts)
 #          ├─ build
 #          ├─ test ─→ build
-#          └─ race ─→ build
+#          ├─ race ─→ build
+#          ├─ fidelity-smoke ─→ build
+#          └─ bench-diff ─→ build
 #   cover ──→ build           (slow; run on demand, not part of the gate)
 #
 # race runs the short-mode suite only: full sweeps are skipped under -short
 # so the ~10x race overhead stays affordable; the determinism, invariant,
-# fuzz-seed and stress tests all still run.
-tier1: vet lint build test race obs-smoke
+# fuzz-seed and stress tests all still run. fidelity-smoke and bench-diff
+# are both short-run-safe: the smoke replays the zoo at a reduced duration,
+# and bench-diff degrades to a no-op note until two archives exist.
+tier1: vet lint build test race obs-smoke fidelity-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -52,11 +56,13 @@ obs-smoke: build
 # summary, and enforces floors on the packages whose edge cases the paper's
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
 # combination (core), the fault-injection subsystem (faults), and the shared
-# control loop (engine), plus the PR-8 telemetry plane (obs) and the
-# benchmark artifact parser (benchfmt). Floors sit a few points under
-# measured coverage at introduction (qstate 98.9%, core 92.9%, faults
-# 95.5%, engine 96.1%, obs 89.6%, benchfmt 93.3%) so incidental drift
-# passes but a feature landing untested does not.
+# control loop (engine), plus the PR-8 telemetry plane (obs), the benchmark
+# artifact parser (benchfmt), and the model-fidelity corpus: the workload
+# zoo (loadgen) and the closed-form rival (analytic). Floors sit a few
+# points under measured coverage at introduction (qstate 98.9%, core 92.9%,
+# faults 95.5%, engine 96.1%, obs 89.6%, benchfmt 92.6%, loadgen 96.1%,
+# analytic 96.4%) so incidental drift passes but a feature landing untested
+# does not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
@@ -66,7 +72,9 @@ cover: build
 		floor["e2ebatch/internal/faults"]=90; \
 		floor["e2ebatch/internal/engine"]=92; \
 		floor["e2ebatch/internal/obs"]=84; \
-		floor["e2ebatch/internal/benchfmt"]=88 } \
+		floor["e2ebatch/internal/benchfmt"]=88; \
+		floor["e2ebatch/internal/loadgen"]=92; \
+		floor["e2ebatch/internal/analytic"]=92 } \
 		/^ok/ && /coverage:/ { \
 			v=""; for (i=1;i<=NF;i++) if ($$i=="coverage:") { v=$$(i+1); sub("%","",v) } \
 			if (($$2 in floor) && v+0 < floor[$$2]) { \
@@ -83,6 +91,25 @@ cover: build
 # early, benchjson sees no result lines and fails the target.
 bench: build
 	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-diff gates ns/op regressions between the two newest BENCH_<date>.json
+# archives (>15% growth on any benchmark fails). With fewer than two archives
+# there is nothing to compare — the target notes that and passes, so tier1
+# stays green on a fresh checkout with only the committed baseline.
+bench-diff: build
+	@set -- $$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-diff: $$# BENCH_*.json archive(s) present, need 2; nothing to compare"; \
+	else \
+		$(GO) run ./cmd/benchjson -compare "$$1" "$$2" -maxregress 15; \
+	fi
+
+# fidelity-smoke replays the whole workload zoo through the model-fidelity
+# harness at a reduced duration — a fast end-to-end check that cmd/fidelity
+# builds, runs, and scores every workload with all three predictors. The
+# full 150 ms report is pinned byte-for-byte by TestFidelityGolden.
+fidelity-smoke: build
+	$(GO) run ./cmd/fidelity -dur 25ms -seed 2
 
 clean:
 	$(GO) clean ./...

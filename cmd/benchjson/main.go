@@ -1,24 +1,102 @@
-// Command benchjson tees a `go test -bench` transcript from stdin to
+// Command benchjson manages the BENCH_<date>.json perf archives.
+//
+// Archive mode (default) tees a `go test -bench` transcript from stdin to
 // stdout while extracting the benchmark result lines, then writes them as
 // a JSON array to -out. `make bench` uses it to archive BENCH_<date>.json
 // without hiding the live run output:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH_2026-08-06.json
+//
+// Compare mode gates perf regressions between two archives — `make
+// bench-diff` runs it over the two newest. It exits 1 when any benchmark's
+// ns/op grew by more than -maxregress percent:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json -maxregress 15
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"e2ebatch/internal/benchfmt"
 )
 
 func main() {
 	out := flag.String("out", "", "write the JSON results here (empty: stdout, transcript suppressed)")
+	compare := flag.Bool("compare", false, "compare two archives: benchjson -compare old.json new.json")
+	maxRegress := flag.Float64("maxregress", 15, "compare mode: max tolerated ns/op growth in percent")
 	flag.Parse()
 
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *maxRegress))
+	}
+	runArchive(*out)
+}
+
+// runCompare loads two archives and renders the gate verdict. Flags placed
+// after the positional file names (the natural `-compare old new
+// -maxregress 15` order) are parsed here, since the flag package stops at
+// the first positional argument.
+func runCompare(args []string, maxRegress float64) int {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-maxregress" || args[i] == "--maxregress" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -maxregress needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -maxregress %q\n", args[i+1])
+				return 2
+			}
+			maxRegress = v
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-maxregress pct]")
+		return 2
+	}
+	old, err := loadArchive(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	neu, err := loadArchive(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fmt.Printf("comparing %s -> %s (gate: +%.0f%% ns/op)\n", files[0], files[1], maxRegress)
+	if !benchfmt.WriteCompare(os.Stdout, benchfmt.Compare(old, neu, maxRegress)) {
+		return 1
+	}
+	return 0
+}
+
+func loadArchive(path string) ([]benchfmt.Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []benchfmt.Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return results, nil
+}
+
+func runArchive(out string) {
 	var results []benchfmt.Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
@@ -27,7 +105,7 @@ func main() {
 		if r, ok := benchfmt.ParseLine(line); ok {
 			results = append(results, r)
 		}
-		if *out != "" {
+		if out != "" {
 			fmt.Println(line)
 		}
 	}
@@ -41,8 +119,8 @@ func main() {
 	}
 
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -54,7 +132,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if *out != "" {
-		fmt.Printf("wrote %d benchmark results to %s\n", len(results), *out)
+	if out != "" {
+		fmt.Printf("wrote %d benchmark results to %s\n", len(results), out)
 	}
 }

@@ -1,0 +1,129 @@
+package analytic
+
+import (
+	"fmt"
+	"time"
+)
+
+// Closed-form end-to-end delay model — the "roofline" rival the model-
+// fidelity harness scores against the paper's measured estimator. The
+// request path is modeled as a tandem of single-server queues (client app,
+// client softirq, uplink wire, server softirq, server app, downlink wire —
+// the harness decides the decomposition), each treated as an independent
+// M/G/1 under the Kleinrock independence approximation: sojourn time from
+// Pollaczek–Khinchine with the stage's first two service-time moments, plus
+// a fixed pure-delay term (propagation) that involves no queueing.
+//
+// The model sees only workload statistics (arrival rate, size moments) and
+// calibration constants — never the simulator's measurements — so its error
+// against sim ground truth quantifies what a cheap a-priori formula can and
+// cannot capture, exactly the comparison the harness exists to make.
+
+// Stage is one server of the tandem: a name for reports plus the first two
+// raw moments of its per-request service time.
+type Stage struct {
+	Name string
+	// Mean is E[S]; M2 is E[S²] in ns² (raw second moment, not variance).
+	Mean time.Duration
+	M2   float64
+}
+
+// StageFromSamples computes a stage's service moments from per-request
+// service times in nanoseconds.
+func StageFromSamples(name string, ns []float64) Stage {
+	m1, m2 := Moments(ns)
+	return Stage{Name: name, Mean: time.Duration(m1), M2: m2}
+}
+
+// Moments returns the first and second raw moments of xs.
+func Moments(xs []float64) (m1, m2 float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		m1 += x
+		m2 += x * x
+	}
+	n := float64(len(xs))
+	return m1 / n, m2 / n
+}
+
+// MG1WaitQ returns the Pollaczek–Khinchine mean queueing delay (excluding
+// service) of an M/G/1 queue from raw service moments in nanoseconds:
+// Wq = λ·E[S²] / (2(1−ρ)). It panics when the queue is unstable, matching
+// the other closed-form helpers.
+func MG1WaitQ(arrivalPerSec, meanServiceNS, service2NS2 float64) time.Duration {
+	rho := arrivalPerSec * meanServiceNS / 1e9
+	if rho >= 1 {
+		panic(fmt.Sprintf("analytic: unstable M/G/1 (rho=%.3f)", rho))
+	}
+	return time.Duration(arrivalPerSec / 1e9 * service2NS2 / (2 * (1 - rho)))
+}
+
+// E2EParams parameterizes the tandem model.
+type E2EParams struct {
+	// RatePerSec is the mean arrival rate λ offered to every stage.
+	RatePerSec float64
+	// Stages is the tandem, in path order.
+	Stages []Stage
+	// Fixed is pure delay with no queueing — propagation both ways.
+	Fixed time.Duration
+}
+
+// StageDelay is one stage's predicted sojourn.
+type StageDelay struct {
+	Name    string
+	Rho     float64
+	Service time.Duration // E[S]
+	Wait    time.Duration // P-K queueing delay
+}
+
+// E2EOut is the model's prediction with its per-stage breakdown.
+type E2EOut struct {
+	// Latency is the predicted mean end-to-end latency: Fixed plus every
+	// stage's service and queueing delay. Meaningful only when Stable.
+	Latency time.Duration
+	// Stable is false when any stage's utilization reaches 1 — the
+	// closed form diverges and the prediction is withheld.
+	Stable bool
+	// MaxRho is the largest stage utilization (the model's bottleneck).
+	MaxRho float64
+	Stages []StageDelay
+}
+
+// E2EDelay evaluates the tandem model.
+func E2EDelay(p E2EParams) E2EOut {
+	out := E2EOut{Stable: true, Latency: p.Fixed}
+	for _, st := range p.Stages {
+		mean := float64(st.Mean)
+		rho := p.RatePerSec * mean / 1e9
+		if rho > out.MaxRho {
+			out.MaxRho = rho
+		}
+		sd := StageDelay{Name: st.Name, Rho: rho, Service: st.Mean}
+		if rho >= 1 {
+			out.Stable = false
+			out.Stages = append(out.Stages, sd)
+			continue
+		}
+		sd.Wait = MG1WaitQ(p.RatePerSec, mean, st.M2)
+		out.Stages = append(out.Stages, sd)
+		out.Latency += sd.Service + sd.Wait
+	}
+	if !out.Stable {
+		out.Latency = 0
+	}
+	return out
+}
+
+// NaiveByteDelay is the strawman predictor the harness scores alongside the
+// real models: request and response bytes serialized at the link rate plus
+// the round-trip propagation — no queueing, no CPU, the "latency is bytes
+// over bandwidth" intuition the paper argues a server cannot safely act on.
+func NaiveByteDelay(reqBytes, respBytes, bitsPerSec float64, rtt time.Duration) time.Duration {
+	d := rtt
+	if bitsPerSec > 0 {
+		d += time.Duration((reqBytes + respBytes) * 8 * 1e9 / bitsPerSec)
+	}
+	return d
+}

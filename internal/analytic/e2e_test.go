@@ -1,0 +1,120 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMoments(t *testing.T) {
+	m1, m2 := Moments([]float64{1, 2, 3})
+	if m1 != 2 || m2 != (1.0+4+9)/3 {
+		t.Fatalf("moments = %v, %v", m1, m2)
+	}
+	m1, m2 = Moments(nil)
+	if m1 != 0 || m2 != 0 {
+		t.Fatalf("empty moments = %v, %v", m1, m2)
+	}
+}
+
+func TestStageFromSamples(t *testing.T) {
+	st := StageFromSamples("x", []float64{1000, 3000})
+	if st.Name != "x" || st.Mean != 2000*time.Nanosecond {
+		t.Fatalf("stage = %+v", st)
+	}
+	if st.M2 != (1e6+9e6)/2 {
+		t.Fatalf("M2 = %v", st.M2)
+	}
+}
+
+// TestMG1WaitQReducesToMM1 cross-checks P-K against the closed M/M/1 form:
+// exponential service with mean 1/µ has E[S²] = 2/µ², so Wq = ρ/(µ−λ).
+func TestMG1WaitQReducesToMM1(t *testing.T) {
+	const lambda, mu = 40000.0, 100000.0 // per second
+	meanNS := 1e9 / mu
+	m2 := 2 * meanNS * meanNS
+	got := float64(MG1WaitQ(lambda, meanNS, m2))
+	rho := lambda / mu
+	want := rho / (mu - lambda) * 1e9
+	if math.Abs(got-want) > want*0.01 {
+		t.Fatalf("MM1 Wq = %v ns, want %v ns", got, want)
+	}
+}
+
+// TestMG1WaitQDeterministicService checks the M/D/1 special case: constant
+// service halves the M/M/1 queueing delay.
+func TestMG1WaitQDeterministicService(t *testing.T) {
+	const lambda, mu = 40000.0, 100000.0
+	meanNS := 1e9 / mu
+	det := float64(MG1WaitQ(lambda, meanNS, meanNS*meanNS))
+	exp := float64(MG1WaitQ(lambda, meanNS, 2*meanNS*meanNS))
+	if math.Abs(det*2-exp) > exp*0.01 {
+		t.Fatalf("M/D/1 Wq %v should be half of M/M/1 %v", det, exp)
+	}
+}
+
+func TestMG1WaitQPanicsWhenUnstable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic at rho >= 1")
+		}
+	}()
+	MG1WaitQ(100000, 1e9/100000, 1)
+}
+
+func TestE2EDelaySumsStages(t *testing.T) {
+	out := E2EDelay(E2EParams{
+		RatePerSec: 10000,
+		Fixed:      4 * time.Microsecond,
+		Stages: []Stage{
+			{Name: "a", Mean: 10 * time.Microsecond, M2: 1e8}, // deterministic 10µs
+			{Name: "b", Mean: 20 * time.Microsecond, M2: 4e8},
+		},
+	})
+	if !out.Stable {
+		t.Fatalf("unstable: %+v", out)
+	}
+	if out.MaxRho < 0.19 || out.MaxRho > 0.21 {
+		t.Fatalf("MaxRho = %v, want 0.2", out.MaxRho)
+	}
+	var sum time.Duration = 4 * time.Microsecond
+	for _, st := range out.Stages {
+		if st.Wait <= 0 {
+			t.Fatalf("stage %s has no queueing delay at rho %v", st.Name, st.Rho)
+		}
+		sum += st.Service + st.Wait
+	}
+	if out.Latency != sum {
+		t.Fatalf("latency %v != stage sum %v", out.Latency, sum)
+	}
+}
+
+func TestE2EDelayUnstableWithholdsPrediction(t *testing.T) {
+	out := E2EDelay(E2EParams{
+		RatePerSec: 200000,
+		Stages: []Stage{
+			{Name: "ok", Mean: time.Microsecond, M2: 1e6},
+			{Name: "hot", Mean: 10 * time.Microsecond, M2: 1e8}, // rho = 2
+		},
+	})
+	if out.Stable || out.Latency != 0 {
+		t.Fatalf("want unstable zero prediction, got %+v", out)
+	}
+	if out.MaxRho < 1.99 || out.MaxRho > 2.01 {
+		t.Fatalf("MaxRho = %v, want 2", out.MaxRho)
+	}
+	if len(out.Stages) != 2 {
+		t.Fatalf("breakdown lost: %+v", out.Stages)
+	}
+}
+
+func TestNaiveByteDelay(t *testing.T) {
+	// 1 Gbps: 8 ns per byte. 1000+1000 bytes → 16 µs + RTT.
+	got := NaiveByteDelay(1000, 1000, 1e9, 4*time.Microsecond)
+	if got != 20*time.Microsecond {
+		t.Fatalf("naive = %v, want 20µs", got)
+	}
+	if NaiveByteDelay(1000, 1000, 0, time.Microsecond) != time.Microsecond {
+		t.Fatal("zero bandwidth should leave only the RTT term")
+	}
+}

@@ -1,0 +1,113 @@
+package benchfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Comparison of two archived benchmark runs — the `make bench-diff` gate.
+// Matching is by benchmark name; the scored axis is ns/op, the one column
+// every result line has. Custom metrics and allocation counts are shown in
+// the rendering but never gate: figure metrics (crossover points, gain
+// ratios) move for legitimate modeling reasons, while a wall-time
+// regression on the same machine is almost always a real slowdown.
+
+// Delta is one benchmark present in both runs.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Pct       float64 // (new-old)/old·100; positive is slower
+	Regressed bool
+}
+
+// CompareOut is the full comparison.
+type CompareOut struct {
+	Deltas []Delta
+	// MaxRegressPct is the gate used to flag Deltas as Regressed.
+	MaxRegressPct float64
+	// OnlyOld and OnlyNew list benchmarks present in one run only —
+	// renamed or deleted benchmarks are surfaced, not silently dropped.
+	OnlyOld, OnlyNew []string
+}
+
+// Regressions returns the deltas beyond the gate, worst first.
+func (c CompareOut) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pct > out[j].Pct })
+	return out
+}
+
+// Compare matches two runs by benchmark name and flags every ns/op
+// increase beyond maxRegressPct percent. Duplicate names within one run
+// keep the first occurrence (the testing package never emits duplicates;
+// a hand-edited archive should not reward the edit).
+func Compare(old, new []Result, maxRegressPct float64) CompareOut {
+	out := CompareOut{MaxRegressPct: maxRegressPct}
+	oldBy := make(map[string]Result, len(old))
+	for _, r := range old {
+		if _, dup := oldBy[r.Name]; !dup {
+			oldBy[r.Name] = r
+		}
+	}
+	seenNew := make(map[string]bool, len(new))
+	for _, r := range new {
+		if seenNew[r.Name] {
+			continue
+		}
+		seenNew[r.Name] = true
+		o, ok := oldBy[r.Name]
+		if !ok {
+			out.OnlyNew = append(out.OnlyNew, r.Name)
+			continue
+		}
+		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			d.Regressed = d.Pct > maxRegressPct
+		}
+		out.Deltas = append(out.Deltas, d)
+	}
+	for _, r := range old {
+		if !seenNew[r.Name] {
+			out.OnlyOld = append(out.OnlyOld, r.Name)
+		}
+	}
+	sort.SliceStable(out.Deltas, func(i, j int) bool { return out.Deltas[i].Name < out.Deltas[j].Name })
+	sort.Strings(out.OnlyOld)
+	sort.Strings(out.OnlyNew)
+	return out
+}
+
+// WriteCompare renders the comparison as a table plus a verdict line and
+// reports whether any benchmark regressed beyond the gate.
+func WriteCompare(w io.Writer, c CompareOut) bool {
+	fmt.Fprintf(w, "%-40s %15s %15s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %+7.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Pct, mark)
+	}
+	for _, n := range c.OnlyOld {
+		fmt.Fprintf(w, "%-40s only in old run (deleted or renamed)\n", n)
+	}
+	for _, n := range c.OnlyNew {
+		fmt.Fprintf(w, "%-40s only in new run (no baseline)\n", n)
+	}
+	regs := c.Regressions()
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.0f%% on ns/op (worst: %s %+.1f%%)\n",
+			len(regs), c.MaxRegressPct, regs[0].Name, regs[0].Pct)
+		return false
+	}
+	fmt.Fprintf(w, "ok: %d benchmark(s) within the %.0f%% ns/op gate\n", len(c.Deltas), c.MaxRegressPct)
+	return true
+}

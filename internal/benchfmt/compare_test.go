@@ -1,0 +1,79 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func res(name string, ns float64) Result {
+	return Result{Name: name, Procs: 8, Iterations: 3, NsPerOp: ns}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := []Result{res("BenchmarkA", 100), res("BenchmarkB", 200), res("BenchmarkGone", 50)}
+	neu := []Result{res("BenchmarkA", 110), res("BenchmarkB", 231), res("BenchmarkNew", 70)}
+	c := Compare(old, neu, 15)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Pct < 15.4 || regs[0].Pct > 15.6 {
+		t.Fatalf("pct = %v", regs[0].Pct)
+	}
+	// A +10% move stays under the 15% gate.
+	for _, d := range c.Deltas {
+		if d.Name == "BenchmarkA" && d.Regressed {
+			t.Fatal("10% flagged at a 15% gate")
+		}
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+}
+
+func TestCompareImprovementNeverFlags(t *testing.T) {
+	c := Compare([]Result{res("BenchmarkA", 100)}, []Result{res("BenchmarkA", 10)}, 15)
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("a 90%% speedup was flagged: %+v", c.Regressions())
+	}
+}
+
+func TestCompareExactGateBoundary(t *testing.T) {
+	// Exactly +15.0% is allowed; the gate is strictly greater-than.
+	c := Compare([]Result{res("BenchmarkA", 1000)}, []Result{res("BenchmarkA", 1150)}, 15)
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("boundary flagged: %+v", c.Regressions())
+	}
+}
+
+func TestCompareZeroOldNs(t *testing.T) {
+	c := Compare([]Result{res("BenchmarkA", 0)}, []Result{res("BenchmarkA", 50)}, 15)
+	if len(c.Regressions()) != 0 {
+		t.Fatal("zero baseline produced a regression verdict")
+	}
+}
+
+func TestWriteCompareVerdicts(t *testing.T) {
+	var buf bytes.Buffer
+	ok := WriteCompare(&buf, Compare(
+		[]Result{res("BenchmarkA", 100)}, []Result{res("BenchmarkA", 200)}, 15))
+	if ok {
+		t.Fatal("regression reported ok")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "FAIL") {
+		t.Fatalf("rendering lacks verdict:\n%s", buf.String())
+	}
+	buf.Reset()
+	ok = WriteCompare(&buf, Compare(
+		[]Result{res("BenchmarkA", 100)}, []Result{res("BenchmarkA", 100)}, 15))
+	if !ok || !strings.Contains(buf.String(), "ok:") {
+		t.Fatalf("clean compare not ok:\n%s", buf.String())
+	}
+}

@@ -76,6 +76,9 @@ type RunSpec struct {
 
 	Rate     float64
 	Duration time.Duration
+	// RateFn modulates the offered rate over virtual time (the workload
+	// zoo's bursty/diurnal arrival processes); nil keeps Rate constant.
+	RateFn func(elapsed time.Duration) float64
 
 	// BatchOn selects static batching mode (ignored when Dynamic or
 	// AIMD is set).
@@ -209,6 +212,7 @@ func Run(spec RunSpec) *RunOut {
 
 	lcfg := cal.Load
 	lcfg.Rate = spec.Rate
+	lcfg.RateFn = spec.RateFn
 	lcfg.Duration = spec.Duration
 	lcfg.Warmup = spec.Duration / 5
 	lcfg.Drain = 50 * time.Millisecond

@@ -45,6 +45,15 @@ type Config struct {
 	Concurrency int
 	// Arrival is the inter-arrival process.
 	Arrival Arrival
+	// RateFn, when non-nil, modulates the open-loop offered rate over
+	// time: while scheduling the next arrival the instantaneous rate is
+	// Rate·RateFn(elapsed), with elapsed the virtual time since the run
+	// started. This is how the workload zoo expresses bursty and diurnal
+	// arrival processes while staying deterministic — gaps are still drawn
+	// from the simulator's seeded RNG, only their mean moves. Multipliers
+	// are clamped below at 1e-3 so a mis-specified shape cannot stall the
+	// arrival chain. Ignored in closed loops (Concurrency > 0).
+	RateFn func(elapsed time.Duration) float64
 	// Warmup discards samples whose requests were issued before this
 	// offset; Duration is how long requests are issued in total.
 	Warmup   time.Duration
@@ -221,7 +230,15 @@ func (g *Generator) Start() sim.Time {
 	}
 
 	gap := func() time.Duration {
-		mean := float64(time.Second) / g.cfg.Rate
+		rate := g.cfg.Rate
+		if g.cfg.RateFn != nil {
+			f := g.cfg.RateFn(g.sim.Now().Sub(start))
+			if f < 1e-3 {
+				f = 1e-3
+			}
+			rate *= f
+		}
+		mean := float64(time.Second) / rate
 		if g.cfg.Arrival == Poisson {
 			return time.Duration(g.sim.Rand().ExpFloat64() * mean)
 		}

@@ -1,0 +1,384 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+
+	"e2ebatch/internal/resp"
+)
+
+// The workload zoo is the model-fidelity harness's test corpus: a library of
+// deterministic, replayable traffic shapes that stress the end-to-end
+// estimator along different axes — value-size dispersion, arrival burstiness,
+// response fan-in, userspace pipelining, sender corking. Every member is a
+// pure function of (seed, request index): per-request randomness comes from a
+// splitmix64 hash of the seed and index, never from shared RNG state, so
+// replaying a workload twice with the same seed yields a byte-identical
+// request stream (the property cmd/fidelity's determinism tests pin via the
+// tcpsim stream digests).
+
+// ZooWorkload is one member of the zoo: a request-stream factory plus the
+// run-shaping knobs the fidelity harness forwards into a run spec, plus the
+// analytic profile (Sizes) the closed-form rival predictor consumes.
+type ZooWorkload struct {
+	// Name identifies the workload in reports; Info is the one-line
+	// description printed alongside.
+	Name, Info string
+
+	// Rate is the offered load in requests per second (mean rate when
+	// RateShape is set).
+	Rate float64
+	// RateShape, when non-nil, is the Config.RateFn multiplier giving the
+	// workload a time-varying arrival process. It must be a pure function.
+	RateShape func(elapsed time.Duration) float64
+
+	// SyscallBatch > 1 makes the client aggregate requests per send(2);
+	// WithHints attaches the §3.3 create/complete tracker.
+	SyscallBatch int
+	WithHints    bool
+	// PreloadKeys populates the store before the run so GET-family
+	// requests hit at full value size.
+	PreloadKeys bool
+	// BatchOn runs the workload under static sender batching (Nagle +
+	// TSO-sized cork) instead of the Redis-style TCP_NODELAY default.
+	BatchOn bool
+
+	// NewMaker builds the request stream. Each call returns a fresh,
+	// stateless maker; streams from the same seed are identical.
+	NewMaker func(seed int64) RequestMaker
+
+	// Sizes enumerates the first n requests and returns each request's
+	// wire size and its expected RESP-encoded response size, in bytes —
+	// the workload's size profile, from which the analytic predictor
+	// derives its service-time moments without touching the simulator.
+	Sizes func(seed int64, n int) (req, resp []int)
+}
+
+// Zoo returns the workload zoo at the given key/value calibration (the
+// paper's 16 B keys and 16 KiB values). Order is fixed; reports iterate it
+// verbatim.
+func Zoo(keySize, valSize int) []ZooWorkload {
+	return []ZooWorkload{
+		zooSet(keySize, valSize, false),
+		zooSet(keySize, valSize, true),
+		zooMix(keySize, valSize),
+		zooHeavyTail(keySize),
+		zooBursty(keySize),
+		zooDiurnal(keySize),
+		zooFanout(keySize, valSize),
+		zooPipelined(keySize),
+	}
+}
+
+// ZooByName returns the named zoo member.
+func ZooByName(keySize, valSize int, name string) (ZooWorkload, bool) {
+	for _, w := range Zoo(keySize, valSize) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return ZooWorkload{}, false
+}
+
+func zooSet(keySize, valSize int, corked bool) ZooWorkload {
+	name, info := "set-16k", "paper fig4a: homogeneous 16 KiB SETs, Poisson"
+	if corked {
+		name, info = "set-16k-corked", "set-16k under static sender batching (TSO cork)"
+	}
+	return ZooWorkload{
+		Name: name, Info: info,
+		Rate:    30000,
+		BatchOn: corked,
+		NewMaker: func(seed int64) RequestMaker {
+			return SetWorkload(keySize, valSize)
+		},
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(SetWorkload(keySize, valSize), n, func(i uint64, kind int) int {
+				return respSimpleLen(2) // +OK
+			})
+		},
+	}
+}
+
+func zooMix(keySize, valSize int) ZooWorkload {
+	const permille = 950
+	mk := func(int64) RequestMaker { return MixedWorkload(keySize, valSize, permille) }
+	return ZooWorkload{
+		Name: "mix-95-5", Info: "paper fig4b: 95% SET / 5% GET, 16 KiB both ways",
+		Rate:        30000,
+		PreloadKeys: true,
+		NewMaker:    mk,
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(mk(seed), n, func(i uint64, kind int) int {
+				if kind == KindGet {
+					return respBulkLen(valSize)
+				}
+				return respSimpleLen(2)
+			})
+		},
+	}
+}
+
+// Heavy-tail parameters: a bounded Pareto on the SET value size. The tail
+// index sits below 1.5 so the size distribution's second moment is dominated
+// by the bound — the dispersion that makes mean-based byte estimates shaky.
+const (
+	heavyTailAlpha = 1.2
+	heavyTailMin   = 256
+	heavyTailMax   = 128 << 10
+)
+
+func zooHeavyTail(keySize int) ZooWorkload {
+	return ZooWorkload{
+		Name: "heavy-tail", Info: "bounded-Pareto value sizes (α=1.2, 256 B…128 KiB)",
+		Rate: 50000,
+		NewMaker: func(seed int64) RequestMaker {
+			return HeavyTailWorkload(keySize, seed, heavyTailAlpha, heavyTailMin, heavyTailMax)
+		},
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(HeavyTailWorkload(keySize, seed, heavyTailAlpha, heavyTailMin, heavyTailMax), n,
+				func(i uint64, kind int) int { return respSimpleLen(2) })
+		},
+	}
+}
+
+func zooBursty(keySize int) ZooWorkload {
+	const burstVal = 4 << 10
+	return ZooWorkload{
+		Name: "bursty", Info: "on/off arrivals: 3.0x for 5 ms, 0.35x for 15 ms, 4 KiB SETs",
+		Rate:      25000,
+		RateShape: BurstShape(20*time.Millisecond, 5*time.Millisecond, 3.0, 0.35),
+		NewMaker: func(seed int64) RequestMaker {
+			return SetWorkload(keySize, burstVal)
+		},
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(SetWorkload(keySize, burstVal), n,
+				func(i uint64, kind int) int { return respSimpleLen(2) })
+		},
+	}
+}
+
+func zooDiurnal(keySize int) ZooWorkload {
+	const dayVal = 2 << 10
+	return ZooWorkload{
+		Name: "diurnal", Info: "sinusoidal arrivals (±60% over a 60 ms day), 2 KiB SETs",
+		Rate:      30000,
+		RateShape: DiurnalShape(60*time.Millisecond, 0.6),
+		NewMaker: func(seed int64) RequestMaker {
+			return SetWorkload(keySize, dayVal)
+		},
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(SetWorkload(keySize, dayVal), n,
+				func(i uint64, kind int) int { return respSimpleLen(2) })
+		},
+	}
+}
+
+// Fan-out chain parameters: every chainLen-th request is the root "gather"
+// MGET over fanWidth preloaded keys (a fanWidth·16 KiB response burst); the
+// rest are small scatter SETs confined to the non-preloaded key range so the
+// gather keys keep their full-size values.
+const (
+	fanoutChainLen = 8
+	fanoutWidth    = 4
+	fanoutChildVal = 64
+)
+
+func zooFanout(keySize, valSize int) ZooWorkload {
+	mk := func(int64) RequestMaker { return FanoutWorkload(keySize, fanoutChainLen, fanoutWidth, fanoutChildVal) }
+	return ZooWorkload{
+		Name: "fanout", Info: "RPC chain: 1 gather MGET(4x16 KiB) per 7 small scatter SETs",
+		Rate:        20000,
+		PreloadKeys: true,
+		NewMaker:    mk,
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(mk(seed), n, func(i uint64, kind int) int {
+				if kind == KindGet {
+					return respArrayLen(fanoutWidth, valSize)
+				}
+				return respSimpleLen(2)
+			})
+		},
+	}
+}
+
+func zooPipelined(keySize int) ZooWorkload {
+	const pipeVal = 4 << 10
+	return ZooWorkload{
+		Name: "pipelined-hints", Info: "4-deep userspace pipelining + §3.3 hints app, 4 KiB SETs",
+		Rate:         25000,
+		SyscallBatch: 4,
+		WithHints:    true,
+		NewMaker: func(seed int64) RequestMaker {
+			return SetWorkload(keySize, pipeVal)
+		},
+		Sizes: func(seed int64, n int) ([]int, []int) {
+			return sizesOf(SetWorkload(keySize, pipeVal), n,
+				func(i uint64, kind int) int { return respSimpleLen(2) })
+		},
+	}
+}
+
+// BurstShape returns an on/off rate multiplier: within each period, the
+// first burstLen runs at the on multiplier and the remainder at the off
+// multiplier. Both multipliers must be positive.
+func BurstShape(period, burstLen time.Duration, on, off float64) func(time.Duration) float64 {
+	if period <= 0 || burstLen <= 0 || burstLen > period || on <= 0 || off <= 0 {
+		panic("loadgen: invalid burst shape")
+	}
+	return func(elapsed time.Duration) float64 {
+		if elapsed%period < burstLen {
+			return on
+		}
+		return off
+	}
+}
+
+// DiurnalShape returns a sinusoidal rate multiplier 1 + amp·sin(2πt/period)
+// — a whole simulated day compressed into one period. amp must lie in
+// (0, 1) so the rate stays positive.
+func DiurnalShape(period time.Duration, amp float64) func(time.Duration) float64 {
+	if period <= 0 || amp <= 0 || amp >= 1 {
+		panic("loadgen: invalid diurnal shape")
+	}
+	return func(elapsed time.Duration) float64 {
+		return 1 + amp*math.Sin(2*math.Pi*float64(elapsed%period)/float64(period))
+	}
+}
+
+// MeanShape numerically averages a rate shape over a run duration (1000
+// evaluation points) — how the analytic predictor recovers the effective
+// mean arrival rate of a modulated workload. Returns 1 for a nil shape.
+func MeanShape(shape func(time.Duration) float64, dur time.Duration) float64 {
+	if shape == nil || dur <= 0 {
+		return 1
+	}
+	const steps = 1000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		t := time.Duration(float64(dur) * (float64(i) + 0.5) / steps)
+		sum += shape(t)
+	}
+	return sum / steps
+}
+
+// HeavyTailWorkload issues SETs whose value sizes follow a bounded Pareto
+// distribution with tail index alpha on [minVal, maxVal]. Sizes are a pure
+// function of (seed, request index) via splitmix64, so the stream replays
+// byte-identically.
+func HeavyTailWorkload(keySize int, seed int64, alpha float64, minVal, maxVal int) RequestMaker {
+	if alpha <= 0 || minVal <= 0 || maxVal < minVal {
+		panic("loadgen: invalid heavy-tail parameters")
+	}
+	keys := makeKeys(keySize, 16)
+	return func(i uint64) ([]byte, int) {
+		n := paretoSize(seed, i, alpha, minVal, maxVal)
+		val := make([]byte, n)
+		for j := range val {
+			val[j] = byte('v')
+		}
+		return resp.AppendCommand(nil, []byte("SET"), keys[i%uint64(len(keys))], val), KindSet
+	}
+}
+
+// FanoutWorkload models a fan-out RPC chain over one connection: every
+// chainLen-th request is the root — an MGET gathering fanWidth preloaded
+// keys, whose fan-in response dwarfs the requests around it — and the
+// remaining requests are small scatter SETs. Scatter writes rotate over the
+// key range above fanWidth so the gather keys keep their preloaded values.
+func FanoutWorkload(keySize, chainLen, fanWidth, childVal int) RequestMaker {
+	if chainLen < 2 || fanWidth < 1 || fanWidth >= 16 || childVal < 0 {
+		panic("loadgen: invalid fanout parameters")
+	}
+	keys := makeKeys(keySize, 16)
+	val := make([]byte, childVal)
+	for i := range val {
+		val[i] = byte('v')
+	}
+	gather := make([][]byte, 0, 1+fanWidth)
+	gather = append(gather, []byte("MGET"))
+	gather = append(gather, keys[:fanWidth]...)
+	rootWire := resp.AppendCommand(nil, gather...)
+	scatterKeys := keys[fanWidth:]
+	return func(i uint64) ([]byte, int) {
+		if i%uint64(chainLen) == 0 {
+			return rootWire, KindGet
+		}
+		key := scatterKeys[i%uint64(len(scatterKeys))]
+		return resp.AppendCommand(nil, []byte("SET"), key, val), KindSet
+	}
+}
+
+// paretoSize draws the i-th bounded-Pareto size by inverse-CDF over a
+// splitmix64 uniform variate.
+func paretoSize(seed int64, i uint64, alpha float64, minVal, maxVal int) int {
+	u := unitFloat(seed, i)
+	l, h := float64(minVal), float64(maxVal)
+	x := l / math.Pow(1-u*(1-math.Pow(l/h, alpha)), 1/alpha)
+	n := int(x)
+	if n < minVal {
+		n = minVal
+	}
+	if n > maxVal {
+		n = maxVal
+	}
+	return n
+}
+
+// splitmix64 is the per-request PRF behind the randomized makers: cheap,
+// stateless, well-mixed — determinism by construction rather than by
+// careful RNG threading.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps (seed, i) to a uniform variate in (0, 1), never exactly 0
+// or 1 so inverse-CDF transforms stay finite.
+func unitFloat(seed int64, i uint64) float64 {
+	h := splitmix64(splitmix64(uint64(seed)) ^ i)
+	return (float64(h>>11) + 0.5) / (1 << 53)
+}
+
+// sizesOf enumerates the first n requests of a maker, returning each
+// request's wire size and its expected response size per respBytes.
+func sizesOf(mk RequestMaker, n int, respBytes func(i uint64, kind int) int) (req, resp []int) {
+	req = make([]int, n)
+	resp = make([]int, n)
+	for i := 0; i < n; i++ {
+		wire, kind := mk(uint64(i))
+		req[i] = len(wire)
+		resp[i] = respBytes(uint64(i), kind)
+	}
+	return req, resp
+}
+
+// respSimpleLen is the RESP wire size of a simple-string reply of n
+// characters ("+OK\r\n" for n=2).
+func respSimpleLen(n int) int { return n + 3 }
+
+// respBulkLen is the RESP wire size of a bulk-string reply of n bytes:
+// "$<len>\r\n<data>\r\n".
+func respBulkLen(n int) int {
+	return 1 + digits(n) + 2 + n + 2
+}
+
+// respArrayLen is the RESP wire size of an array of width bulk replies of
+// elem bytes each — the fan-in MGET response.
+func respArrayLen(width, elem int) int {
+	return 1 + digits(width) + 2 + width*respBulkLen(elem)
+}
+
+func digits(n int) int {
+	if n < 0 {
+		panic("loadgen: negative length")
+	}
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}

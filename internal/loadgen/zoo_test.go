@@ -1,0 +1,231 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestZooMembership(t *testing.T) {
+	zoo := Zoo(16, 16<<10)
+	if len(zoo) < 6 {
+		t.Fatalf("zoo has %d members, want >= 6", len(zoo))
+	}
+	seen := map[string]bool{}
+	for _, w := range zoo {
+		if w.Name == "" || w.Info == "" {
+			t.Fatalf("unnamed workload: %+v", w)
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Rate <= 0 || w.NewMaker == nil || w.Sizes == nil {
+			t.Fatalf("%s: incomplete definition", w.Name)
+		}
+	}
+	for _, name := range []string{"set-16k", "set-16k-corked", "heavy-tail", "bursty", "diurnal", "fanout"} {
+		if _, ok := ZooByName(16, 16<<10, name); !ok {
+			t.Errorf("ZooByName(%q) missing", name)
+		}
+	}
+	if _, ok := ZooByName(16, 16<<10, "no-such"); ok {
+		t.Error("ZooByName invented a workload")
+	}
+}
+
+// TestZooStreamsReplayable: every maker is a pure function of (seed, index)
+// — same seed, same index, same bytes — and Sizes agrees with the bytes the
+// maker actually produces.
+func TestZooStreamsReplayable(t *testing.T) {
+	const n = 500
+	for _, w := range Zoo(16, 16<<10) {
+		a, b := w.NewMaker(7), w.NewMaker(7)
+		req, resp := w.Sizes(7, n)
+		if len(req) != n || len(resp) != n {
+			t.Fatalf("%s: Sizes returned %d/%d entries", w.Name, len(req), len(resp))
+		}
+		for i := uint64(0); i < n; i++ {
+			wa, ka := a(i)
+			wb, kb := b(i)
+			if !bytes.Equal(wa, wb) || ka != kb {
+				t.Fatalf("%s: request %d differs across replays", w.Name, i)
+			}
+			if len(wa) != req[i] {
+				t.Fatalf("%s: Sizes says request %d is %d bytes, maker produced %d",
+					w.Name, i, req[i], len(wa))
+			}
+			if resp[i] <= 0 {
+				t.Fatalf("%s: nonpositive response size at %d", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestHeavyTailSeedChangesSizes(t *testing.T) {
+	w, _ := ZooByName(16, 16<<10, "heavy-tail")
+	r1, _ := w.Sizes(1, 200)
+	r2, _ := w.Sizes(2, 200)
+	diff := 0
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("only %d/200 sizes changed across seeds", diff)
+	}
+}
+
+func TestParetoSizeBounds(t *testing.T) {
+	minN, maxN := heavyTailMax, heavyTailMin
+	for i := uint64(0); i < 20000; i++ {
+		n := paretoSize(3, i, heavyTailAlpha, heavyTailMin, heavyTailMax)
+		if n < heavyTailMin || n > heavyTailMax {
+			t.Fatalf("size %d outside [%d, %d]", n, heavyTailMin, heavyTailMax)
+		}
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	// A heavy tail actually uses its range: the min hugs the floor, the
+	// max gets within an order of magnitude of the cap.
+	if minN > 2*heavyTailMin || maxN < heavyTailMax/10 {
+		t.Fatalf("degenerate Pareto: observed [%d, %d]", minN, maxN)
+	}
+}
+
+func TestUnitFloatInOpenInterval(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := unitFloat(11, i)
+		if u <= 0 || u >= 1 {
+			t.Fatalf("unitFloat(11, %d) = %v", i, u)
+		}
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	sh := BurstShape(20*time.Millisecond, 5*time.Millisecond, 3, 0.35)
+	if sh(0) != 3 || sh(4*time.Millisecond) != 3 {
+		t.Fatal("burst window not on")
+	}
+	if sh(5*time.Millisecond) != 0.35 || sh(19*time.Millisecond) != 0.35 {
+		t.Fatal("off window not off")
+	}
+	if sh(20*time.Millisecond) != 3 {
+		t.Fatal("shape not periodic")
+	}
+	for _, f := range []func(){
+		func() { BurstShape(0, time.Millisecond, 2, 0.5) },
+		func() { BurstShape(time.Millisecond, 2*time.Millisecond, 2, 0.5) },
+		func() { BurstShape(time.Millisecond, time.Millisecond, 0, 0.5) },
+		func() { BurstShape(time.Millisecond, time.Millisecond, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid burst shape accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	sh := DiurnalShape(60*time.Millisecond, 0.6)
+	if got := sh(15 * time.Millisecond); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("peak = %v, want 1.6", got)
+	}
+	if got := sh(45 * time.Millisecond); math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("trough = %v, want 0.4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("amp >= 1 accepted")
+		}
+	}()
+	DiurnalShape(time.Millisecond, 1)
+}
+
+func TestMeanShape(t *testing.T) {
+	if MeanShape(nil, time.Second) != 1 {
+		t.Fatal("nil shape mean != 1")
+	}
+	// Sinusoid over whole periods averages to 1.
+	m := MeanShape(DiurnalShape(10*time.Millisecond, 0.6), 100*time.Millisecond)
+	if math.Abs(m-1) > 0.01 {
+		t.Fatalf("diurnal mean = %v, want ~1", m)
+	}
+	// Burst: 5ms at 3x + 15ms at 0.35x over a 20ms period.
+	want := (5*3 + 15*0.35) / 20
+	m = MeanShape(BurstShape(20*time.Millisecond, 5*time.Millisecond, 3, 0.35), 200*time.Millisecond)
+	if math.Abs(m-want) > 0.01 {
+		t.Fatalf("burst mean = %v, want %v", m, want)
+	}
+}
+
+func TestFanoutWorkloadShape(t *testing.T) {
+	mk := FanoutWorkload(16, fanoutChainLen, fanoutWidth, fanoutChildVal)
+	root, kind := mk(0)
+	if kind != KindGet {
+		t.Fatal("chain root is not the gather")
+	}
+	scatter, kind := mk(1)
+	if kind != KindSet {
+		t.Fatal("chain body is not scatter SETs")
+	}
+	if len(root) >= len(scatter)+200 {
+		t.Fatalf("gather request unexpectedly large: %d vs %d", len(root), len(scatter))
+	}
+	// Every chainLen-th request is the root again, byte-identical.
+	root2, _ := mk(fanoutChainLen)
+	if !bytes.Equal(root, root2) {
+		t.Fatal("gather request not stable across chains")
+	}
+	// Scatter SETs avoid the gather key range.
+	gatherKeys := makeKeys(16, 16)[:fanoutWidth]
+	for i := uint64(1); i < 64; i++ {
+		wire, kind := mk(i)
+		if kind != KindSet && i%fanoutChainLen != 0 {
+			t.Fatalf("request %d: unexpected kind %d", i, kind)
+		}
+		if kind != KindSet {
+			continue
+		}
+		for _, k := range gatherKeys {
+			if bytes.Contains(wire, k) {
+				t.Fatalf("scatter SET %d touches gather key %q", i, k)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid fanout accepted")
+		}
+	}()
+	FanoutWorkload(16, 1, 4, 64)
+}
+
+func TestRespWireLens(t *testing.T) {
+	if got := respSimpleLen(2); got != len("+OK\r\n") {
+		t.Fatalf("simple = %d", got)
+	}
+	if got := respBulkLen(5); got != len("$5\r\nhello\r\n") {
+		t.Fatalf("bulk = %d", got)
+	}
+	if got := respBulkLen(0); got != len("$0\r\n\r\n") {
+		t.Fatalf("empty bulk = %d", got)
+	}
+	want := len("*2\r\n") + 2*respBulkLen(3)
+	if got := respArrayLen(2, 3); got != want {
+		t.Fatalf("array = %d, want %d", got, want)
+	}
+	if digits(0) != 1 || digits(9) != 1 || digits(10) != 2 || digits(16384) != 5 {
+		t.Fatal("digits wrong")
+	}
+}

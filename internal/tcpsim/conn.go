@@ -27,24 +27,34 @@ type segment struct {
 
 // Stats counts connection-level events; all fields are cumulative.
 type Stats struct {
-	Flushes         uint64 // transmit flushes (skbs)
-	Segments        uint64 // MSS wire segments
-	BytesSent       uint64 // payload bytes transmitted
-	Sends           uint64 // application Send calls
-	PureAcks        uint64 // standalone ACK segments sent
-	AcksSuppressed  uint64 // scheduled ACKs that became redundant
-	GROBatches      uint64 // receive-side processing batches (GRO on)
-	GROMerged       uint64 // extra flushes merged into a batch beyond the first
-	Retransmits     uint64 // go-back-N retransmission rounds (RTO fired)
-	DupPayloads     uint64 // received payloads discarded as duplicate/out-of-order
-	NagleHolds      uint64 // times a sub-MSS tail was held
-	CorkTimeouts    uint64 // held data released by the cork timer
+	Flushes        uint64 // transmit flushes (skbs)
+	Segments       uint64 // MSS wire segments
+	BytesSent      uint64 // payload bytes transmitted
+	Sends          uint64 // application Send calls
+	PureAcks       uint64 // standalone ACK segments sent
+	AcksSuppressed uint64 // scheduled ACKs that became redundant
+	GROBatches     uint64 // receive-side processing batches (GRO on)
+	GROMerged      uint64 // extra flushes merged into a batch beyond the first
+	Retransmits    uint64 // go-back-N retransmission rounds (RTO fired)
+	DupPayloads    uint64 // received payloads discarded as duplicate/out-of-order
+	NagleHolds     uint64 // times a sub-MSS tail was held
+	CorkTimeouts   uint64 // held data released by the cork timer
+
 	DelAckTimeouts  uint64 // ACKs released by the delayed-ACK timer
 	WindowStalls    uint64 // pump() stopped by a closed receive window
 	StatesExchanged uint64 // metadata exchanges attached to segments
 	StatesDropped   uint64 // inbound exchanges discarded by the fault hook
 	StatesDelayed   uint64 // inbound exchanges deferred by the fault hook
 	StatesDuped     uint64 // inbound exchanges replayed by the fault hook
+
+	// SentDigest and ReadDigest are not counts but running FNV-1a digests
+	// of every byte the application has written to (Send) and read from
+	// (Read) this endpoint — the replay seam the model-fidelity harness
+	// uses: two runs of a deterministic workload produced byte-identical
+	// streams iff their digests match, with nothing retained. They start
+	// at the FNV-1a offset basis.
+	SentDigest uint64
+	ReadDigest uint64
 }
 
 // Conn is one endpoint of an emulated TCP connection. All methods must be
@@ -129,6 +139,8 @@ func Connect(a, b *Stack, link *netem.Link, cfg Config) (*Conn, *Conn) {
 		corkBytes: cork, sndLimit: cfg.RecvBuf, lastAdvWnd: cfg.RecvBuf, lastExchange: now}
 	cb := &Conn{stack: b, cfg: cfg, tx: link.BtoA, name: b.Name, nodelay: !cfg.Nagle,
 		corkBytes: cork, sndLimit: cfg.RecvBuf, lastAdvWnd: cfg.RecvBuf, lastExchange: now}
+	ca.stats.SentDigest, ca.stats.ReadDigest = fnvOffset, fnvOffset
+	cb.stats.SentDigest, cb.stats.ReadDigest = fnvOffset, fnvOffset
 	ca.peer, cb.peer = cb, ca
 	ca.instr.init(now)
 	cb.instr.init(now)
@@ -234,6 +246,7 @@ func (c *Conn) Send(data []byte) {
 	c.msgEndsUnacked = append(c.msgEndsUnacked, end)
 	c.instr.unacked.track(now, int64(len(data)), 0, 1)
 	c.stats.Sends++
+	c.stats.SentDigest = fnv1a(c.stats.SentDigest, data)
 	c.pump()
 }
 
@@ -255,6 +268,7 @@ func (c *Conn) Read(max int) []byte {
 	copy(data, c.rq[:n])
 	c.rq = c.rq[n:]
 	c.rqStart += int64(n)
+	c.stats.ReadDigest = fnv1a(c.stats.ReadDigest, data)
 
 	segs := popLE(&c.rcvSegEnds, c.rqStart)
 	msgs := popLE(&c.rcvMsgEnds, c.rqStart)
@@ -802,3 +816,17 @@ func popLE(s *[]int64, limit int64) int64 {
 	*s = (*s)[i:]
 	return int64(i)
 }
+
+// fnv1a folds data into a running 64-bit FNV-1a digest (h starts at
+// fnvOffset). Hand-rolled rather than hash/fnv to stay allocation-free on
+// the per-Read/Send path.
+func fnv1a(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fnvOffset is the FNV-1a 64-bit offset basis.
+const fnvOffset = 14695981039346656037

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint build test race obs-smoke cover bench bench-diff fidelity-smoke clean
+.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke cover bench bench-diff fidelity-smoke clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -10,6 +10,8 @@ GOFMT ?= gofmt
 #
 #   tier1 ─┬─ vet
 #          ├─ lint ─→ build   (e2elint resolves imports via build artifacts)
+#          ├─ escapes ─→ build (compiler escape analysis over hot paths)
+#          ├─ allocgate ─→ build (AllocsPerRun pins for //e2e:hotpath)
 #          ├─ build
 #          ├─ test ─→ build
 #          ├─ race ─→ build
@@ -22,18 +24,33 @@ GOFMT ?= gofmt
 # fuzz-seed and stress tests all still run. fidelity-smoke and bench-diff
 # are both short-run-safe: the smoke replays the zoo at a reduced duration,
 # and bench-diff degrades to a no-op note until two archives exist.
-tier1: vet lint build test race obs-smoke fidelity-smoke bench-diff
+tier1: vet lint escapes allocgate build test race obs-smoke fidelity-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
 
-# lint enforces gofmt plus the project's own invariants: the eight e2elint
-# analyzers described in DESIGN.md §8 "Enforced invariants". Suppressions
-# require a justified `//lint:ignore e2elint/<name> reason` directive.
+# lint enforces gofmt plus the project's own invariants: the ten e2elint
+# analyzers described in DESIGN.md §8 "Enforced invariants" (the escapes
+# analyzer runs under its own target below — it needs the compiler).
+# Suppressions require a justified `//lint:ignore e2elint/<name> reason`
+# directive.
 lint: build
 	@drift=$$($(GOFMT) -l .); if [ -n "$$drift" ]; then \
 		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
 	$(GO) run ./cmd/e2elint ./...
+
+# escapes is the compiler-backed half of the hot-path allocation discipline
+# (DESIGN.md §13): rebuild the packages containing //e2e:hotpath functions
+# with -gcflags=-m and fail if any hot function's locals move to the heap.
+escapes: build
+	$(GO) run ./cmd/e2elint -escapes ./...
+
+# allocgate is the runtime half: testing.AllocsPerRun pins every
+# //e2e:hotpath function at 0 allocs/op. The gates are build-tagged !race
+# (the race runtime allocates shadow state), so they run here and in plain
+# `make test`, not under race.
+allocgate: build
+	$(GO) test -run AllocGate -count=1 ./internal/...
 
 build:
 	$(GO) build ./...
@@ -57,12 +74,13 @@ obs-smoke: build
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
 # combination (core), the fault-injection subsystem (faults), and the shared
 # control loop (engine), plus the PR-8 telemetry plane (obs), the benchmark
-# artifact parser (benchfmt), and the model-fidelity corpus: the workload
-# zoo (loadgen) and the closed-form rival (analytic). Floors sit a few
-# points under measured coverage at introduction (qstate 98.9%, core 92.9%,
-# faults 95.5%, engine 96.1%, obs 89.6%, benchfmt 92.6%, loadgen 96.1%,
-# analytic 96.4%) so incidental drift passes but a feature landing untested
-# does not.
+# artifact parser (benchfmt), the model-fidelity corpus: the workload
+# zoo (loadgen) and the closed-form rival (analytic), and the invariant
+# analyzer suite itself (lint). Floors sit a few points under measured
+# coverage at introduction (qstate 98.9%, core 92.9%, faults 95.5%, engine
+# 96.1%, obs 89.6%, benchfmt 92.6%, loadgen 96.1%, analytic 96.4%, lint
+# 90.0%) so incidental drift passes but a feature landing untested does
+# not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
@@ -72,6 +90,7 @@ cover: build
 		floor["e2ebatch/internal/faults"]=90; \
 		floor["e2ebatch/internal/engine"]=92; \
 		floor["e2ebatch/internal/obs"]=84; \
+		floor["e2ebatch/internal/lint"]=85; \
 		floor["e2ebatch/internal/benchfmt"]=88; \
 		floor["e2ebatch/internal/loadgen"]=92; \
 		floor["e2ebatch/internal/analytic"]=92 } \
@@ -88,9 +107,20 @@ cover: build
 # (name, ns/op, B/op, allocs/op plus the custom figure metrics), so the
 # perf trajectory is tracked across PRs instead of living in scrollback.
 # The live transcript still streams to the terminal; if the test run dies
-# early, benchjson sees no result lines and fails the target.
+# early, benchjson sees no result lines and fails the target. A second run
+# on the same day suffixes a letter (BENCH_<date>b.json, ...) instead of
+# overwriting the committed archive; the suffix sorts after the plain date,
+# so bench-diff's two-newest selection stays correct.
 bench: build
-	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+	@out=BENCH_$$(date +%Y-%m-%d).json; \
+	if [ -e "$$out" ]; then \
+		for s in b c d e f g h i j k l m n o p q r s t u v w x y z; do \
+			cand=BENCH_$$(date +%Y-%m-%d)$$s.json; \
+			if [ ! -e "$$cand" ]; then out=$$cand; break; fi; \
+		done; \
+		if [ -e "$$out" ]; then echo "bench: all archive names for today taken"; exit 1; fi; \
+	fi; \
+	$(GO) test -run '^$$' -bench . -benchmem . | $(GO) run ./cmd/benchjson -out "$$out"
 
 # bench-diff gates ns/op regressions between the two newest BENCH_<date>.json
 # archives (>15% growth on any benchmark fails). With fewer than two archives

@@ -18,7 +18,11 @@ import (
 	"time"
 
 	"e2ebatch"
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/engine"
 	"e2ebatch/internal/figures"
+	"e2ebatch/internal/obs"
+	"e2ebatch/internal/policy"
 	"e2ebatch/internal/qstate"
 	"e2ebatch/internal/tcpsim"
 )
@@ -227,6 +231,109 @@ func BenchmarkHintAPI(b *testing.B) {
 		tr.Create(1)
 		now++
 		tr.Complete(1)
+	}
+}
+
+// BenchmarkTrackerTrack measures the concurrency-safe TRACK variant — one
+// locked add/remove pair on the qstate.Tracker (//e2e:hotpath, 0 allocs).
+func BenchmarkTrackerTrack(b *testing.B) {
+	tr := qstate.NewTracker(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Track(qstate.Time(2*i), 1)
+		tr.Track(qstate.Time(2*i+1), -1)
+	}
+}
+
+// BenchmarkSharedEstimatorUpdate measures one concurrency-safe estimator
+// update — the per-connection per-tick cost of the spinlock-and-mirrors
+// SharedEstimator (//e2e:hotpath, 0 allocs).
+func BenchmarkSharedEstimatorUpdate(b *testing.B) {
+	var e core.SharedEstimator
+	var st qstate.State
+	st.Init(0)
+	now := qstate.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += qstate.Time(time.Millisecond)
+		st.Track(now, 1)
+		now += qstate.Time(time.Millisecond)
+		st.Track(now, -1)
+		_ = e.Update(core.Sample{Local: core.Queues{Unacked: st.Snapshot(now)}, At: now})
+	}
+}
+
+// benchPort is a minimal engine.Port for the tick benchmark: live queue
+// counters, decision stored without logging.
+type benchPort struct {
+	st   qstate.State
+	last engine.Decision
+}
+
+func (p *benchPort) Snapshot(now qstate.Time) core.Sample {
+	return core.Sample{Local: core.Queues{Unacked: p.st.Snapshot(now)}, At: now}
+}
+func (p *benchPort) Apply(d engine.Decision) error { p.last = d; return nil }
+func (p *benchPort) SelfContained() bool           { return true }
+
+// benchToggler satisfies engine.Controller with a fixed decision, so the
+// benchmark measures the loop rather than a policy.
+type benchToggler struct{}
+
+func (benchToggler) Observe(time.Duration, float64, bool) policy.Mode { return policy.BatchOn }
+func (benchToggler) ObserveDegraded() policy.Mode                     { return policy.BatchOn }
+func (benchToggler) Mode() policy.Mode                                { return policy.BatchOn }
+func (benchToggler) Stats() policy.TogglerStats                       { return policy.TogglerStats{} }
+
+// BenchmarkEngineTick measures one full controller-driven decision tick —
+// snapshot, estimate, decide, apply (//e2e:hotpath, 0 allocs steady-state).
+func BenchmarkEngineTick(b *testing.B) {
+	p := &benchPort{}
+	p.st.Init(0)
+	ep := engine.New(engine.Config{Controller: benchToggler{}, CorkOnBytes: 16 << 10}, p)
+	now := qstate.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += qstate.Time(time.Millisecond)
+		p.st.Track(now, 1)
+		now += qstate.Time(time.Millisecond)
+		p.st.Track(now, -1)
+		ep.Tick(now)
+	}
+}
+
+// BenchmarkRingPush measures publishing one decision record into the
+// telemetry ring (//e2e:hotpath, 0 allocs).
+func BenchmarkRingPush(b *testing.B) {
+	r := obs.NewRing(1024)
+	rec := obs.DecisionRecord{Endpoint: "bench", Mode: "batch-on", Valid: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(&rec)
+	}
+}
+
+// BenchmarkObserveTick measures the full telemetry fan-out of one tick:
+// counters, gauges, latency histogram and the ring record
+// (//e2e:hotpath, 0 allocs).
+func BenchmarkObserveTick(b *testing.B) {
+	reg := obs.NewRegistry()
+	o := obs.NewEngineObserver(obs.NewEngineMetrics(reg), obs.NewRing(1024))
+	perPort := make([]core.Estimate, 1)
+	samples := make([]core.Sample, 1)
+	now := qstate.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += qstate.Time(time.Millisecond)
+		samples[0] = core.Sample{At: now, RemoteOK: true, RemoteAt: now}
+		perPort[0] = core.Estimate{Latency: time.Millisecond, Throughput: 1000, Valid: true}
+		o.ObserveTick(now, engine.TickResult{
+			Estimate: perPort[0],
+			PerPort:  perPort,
+			Mode:     policy.BatchOn,
+			Applied:  true,
+			Samples:  samples,
+		})
 	}
 }
 

@@ -9,7 +9,9 @@
 //
 // Compare mode gates perf regressions between two archives — `make
 // bench-diff` runs it over the two newest. It exits 1 when any benchmark's
-// ns/op grew by more than -maxregress percent:
+// ns/op, B/op or allocs/op grew by more than -maxregress percent, or when a
+// benchmark whose baseline was 0 B/op and 0 allocs/op starts allocating at
+// all (the //e2e:hotpath zero-alloc pins, DESIGN.md §13):
 //
 //	benchjson -compare BENCH_old.json BENCH_new.json -maxregress 15
 package main

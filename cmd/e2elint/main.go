@@ -1,17 +1,24 @@
 // Command e2elint runs e2ebatch's project-specific static analysis suite —
-// the seven analyzers in internal/lint that enforce the concurrency and
-// determinism invariants the estimator's correctness depends on (see
-// DESIGN.md "Enforced invariants").
+// the ten analyzers in internal/lint that enforce the concurrency,
+// determinism and hot-path allocation invariants the estimator's correctness
+// and overhead budget depend on (see DESIGN.md "Enforced invariants" and
+// "Hot-path allocation discipline").
 //
 // Usage:
 //
-//	e2elint [-list] [packages or directories]
+//	e2elint [-list] [-escapes] [packages or directories]
 //
 // Arguments default to ./... and may be go package patterns or plain
 // directories (directories are analyzed as loose packages, which is how the
 // analyzer testdata exercises seeded violations). Findings print as
 // file:line:col: e2elint/<analyzer>: message; the exit status is 1 when any
 // finding survives, 2 on a usage or load error, 0 on a clean tree.
+//
+// The default run executes every pure go/types analyzer. -escapes instead
+// runs only the compiler-backed escapes gate, which rebuilds the packages
+// containing //e2e:hotpath functions with -gcflags=-m and fails when escape
+// analysis moves a hot function's locals to the heap; it is split out
+// because it shells out to the gc compiler (make tier1 runs both).
 //
 // A finding can be suppressed with a justified escape hatch on or above the
 // offending line:
@@ -38,6 +45,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	flags := flag.NewFlagSet("e2elint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzers and exit")
+	escapes := flags.Bool("escapes", false,
+		"run only the compiler-backed escapes gate (go build -gcflags=-m) over //e2e:hotpath functions")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
@@ -47,6 +56,14 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "e2elint/%s: %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	// The escapes analyzer shells out to the compiler, so it runs under its
+	// own flag; everything else is a pure in-process go/types pass.
+	selected := analyzers[:0:0]
+	for _, a := range analyzers {
+		if (a.Name == "escapes") == *escapes {
+			selected = append(selected, a)
+		}
 	}
 	patterns := flags.Args()
 	if len(patterns) == 0 {
@@ -81,12 +98,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		pkgs = append(pkgs, loaded...)
 	}
 
+	// One CheckPackages call over the whole set: the module-level analyzers
+	// (hotpath, escapes) need every package at once so cross-package callee
+	// edges resolve.
 	findings := 0
-	for _, pkg := range pkgs {
-		for _, d := range lint.Check(pkg, analyzers) {
-			findings++
-			fmt.Fprintln(stdout, d)
-		}
+	for _, d := range lint.CheckPackages(pkgs, selected) {
+		findings++
+		fmt.Fprintln(stdout, d)
 	}
 	if findings > 0 {
 		fmt.Fprintf(stderr, "e2elint: %d finding(s)\n", findings)

@@ -3,23 +3,65 @@ package benchfmt
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
 // Comparison of two archived benchmark runs — the `make bench-diff` gate.
-// Matching is by benchmark name; the scored axis is ns/op, the one column
-// every result line has. Custom metrics and allocation counts are shown in
-// the rendering but never gate: figure metrics (crossover points, gain
-// ratios) move for legitimate modeling reasons, while a wall-time
-// regression on the same machine is almost always a real slowdown.
+// Matching is by benchmark name; three axes are scored. ns/op gates on
+// relative growth (a wall-time regression on the same machine is almost
+// always a real slowdown). B/op and allocs/op gate on relative growth too,
+// plus one absolute rule: a benchmark whose baseline was zero and now
+// allocates fails regardless of percentage — a zero-alloc pin (the
+// //e2e:hotpath discipline, DESIGN.md §13) has no percentage to grow by,
+// and losing it is exactly what the gate exists to catch. Custom figure
+// metrics (crossover points, gain ratios) are shown but never gate: they
+// move for legitimate modeling reasons.
 
-// Delta is one benchmark present in both runs.
+// Delta is one benchmark present in both runs, with per-axis verdicts.
 type Delta struct {
 	Name      string
 	OldNs     float64
 	NewNs     float64
 	Pct       float64 // (new-old)/old·100; positive is slower
-	Regressed bool
+	Regressed bool    // ns/op growth beyond the gate
+
+	OldBytes       float64
+	NewBytes       float64
+	BytesPct       float64 // meaningful only when OldBytes > 0
+	BytesRegressed bool
+
+	OldAllocs       float64
+	NewAllocs       float64
+	AllocsPct       float64 // meaningful only when OldAllocs > 0
+	AllocsRegressed bool
+}
+
+// AnyRegressed reports whether any of the three axes failed the gate.
+func (d Delta) AnyRegressed() bool {
+	return d.Regressed || d.BytesRegressed || d.AllocsRegressed
+}
+
+// severity orders regressions for the verdict line: a lost zero-alloc pin
+// outranks any percentage, then worse relative growth ranks higher.
+func (d Delta) severity() float64 {
+	s := math.Inf(-1)
+	if d.Regressed {
+		s = d.Pct
+	}
+	if d.BytesRegressed {
+		if d.OldBytes == 0 {
+			return math.Inf(1)
+		}
+		s = math.Max(s, d.BytesPct)
+	}
+	if d.AllocsRegressed {
+		if d.OldAllocs == 0 {
+			return math.Inf(1)
+		}
+		s = math.Max(s, d.AllocsPct)
+	}
+	return s
 }
 
 // CompareOut is the full comparison.
@@ -32,22 +74,33 @@ type CompareOut struct {
 	OnlyOld, OnlyNew []string
 }
 
-// Regressions returns the deltas beyond the gate, worst first.
+// Regressions returns the deltas failing on any axis, worst first.
 func (c CompareOut) Regressions() []Delta {
 	var out []Delta
 	for _, d := range c.Deltas {
-		if d.Regressed {
+		if d.AnyRegressed() {
 			out = append(out, d)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Pct > out[j].Pct })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].severity() > out[j].severity() })
 	return out
 }
 
-// Compare matches two runs by benchmark name and flags every ns/op
-// increase beyond maxRegressPct percent. Duplicate names within one run
-// keep the first occurrence (the testing package never emits duplicates;
-// a hand-edited archive should not reward the edit).
+// allocAxis gates one allocation column: relative growth beyond maxPct when
+// a baseline exists, any growth at all from a zero baseline.
+func allocAxis(old, new, maxPct float64) (pct float64, regressed bool) {
+	if old > 0 {
+		pct = (new - old) / old * 100
+		return pct, pct > maxPct
+	}
+	return 0, new > 0
+}
+
+// Compare matches two runs by benchmark name and flags growth beyond
+// maxRegressPct percent on ns/op, B/op and allocs/op (the allocation axes
+// also fail on any growth from a zero baseline). Duplicate names within one
+// run keep the first occurrence (the testing package never emits
+// duplicates; a hand-edited archive should not reward the edit).
 func Compare(old, new []Result, maxRegressPct float64) CompareOut {
 	out := CompareOut{MaxRegressPct: maxRegressPct}
 	oldBy := make(map[string]Result, len(old))
@@ -67,11 +120,18 @@ func Compare(old, new []Result, maxRegressPct float64) CompareOut {
 			out.OnlyNew = append(out.OnlyNew, r.Name)
 			continue
 		}
-		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		d := Delta{
+			Name:  r.Name,
+			OldNs: o.NsPerOp, NewNs: r.NsPerOp,
+			OldBytes: o.BytesPerOp, NewBytes: r.BytesPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: r.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
 			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 			d.Regressed = d.Pct > maxRegressPct
 		}
+		d.BytesPct, d.BytesRegressed = allocAxis(o.BytesPerOp, r.BytesPerOp, maxRegressPct)
+		d.AllocsPct, d.AllocsRegressed = allocAxis(o.AllocsPerOp, r.AllocsPerOp, maxRegressPct)
 		out.Deltas = append(out.Deltas, d)
 	}
 	for _, r := range old {
@@ -86,7 +146,9 @@ func Compare(old, new []Result, maxRegressPct float64) CompareOut {
 }
 
 // WriteCompare renders the comparison as a table plus a verdict line and
-// reports whether any benchmark regressed beyond the gate.
+// reports whether any benchmark regressed beyond the gate. The table is the
+// ns/op trajectory; allocation axes stay silent while they hold, and print
+// a detail line under the benchmark's row when they regress.
 func WriteCompare(w io.Writer, c CompareOut) bool {
 	fmt.Fprintf(w, "%-40s %15s %15s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, d := range c.Deltas {
@@ -95,6 +157,8 @@ func WriteCompare(w io.Writer, c CompareOut) bool {
 			mark = "  << REGRESSION"
 		}
 		fmt.Fprintf(w, "%-40s %15.0f %15.0f %+7.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.Pct, mark)
+		writeAllocAxis(w, "B/op", d.OldBytes, d.NewBytes, d.BytesPct, d.BytesRegressed)
+		writeAllocAxis(w, "allocs/op", d.OldAllocs, d.NewAllocs, d.AllocsPct, d.AllocsRegressed)
 	}
 	for _, n := range c.OnlyOld {
 		fmt.Fprintf(w, "%-40s only in old run (deleted or renamed)\n", n)
@@ -104,10 +168,22 @@ func WriteCompare(w io.Writer, c CompareOut) bool {
 	}
 	regs := c.Regressions()
 	if len(regs) > 0 {
-		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.0f%% on ns/op (worst: %s %+.1f%%)\n",
-			len(regs), c.MaxRegressPct, regs[0].Name, regs[0].Pct)
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed beyond the %.0f%% gate on ns/op, B/op or allocs/op (worst: %s)\n",
+			len(regs), c.MaxRegressPct, regs[0].Name)
 		return false
 	}
-	fmt.Fprintf(w, "ok: %d benchmark(s) within the %.0f%% ns/op gate\n", len(c.Deltas), c.MaxRegressPct)
+	fmt.Fprintf(w, "ok: %d benchmark(s) within the %.0f%% gate on ns/op, B/op and allocs/op\n", len(c.Deltas), c.MaxRegressPct)
 	return true
+}
+
+// writeAllocAxis prints one allocation-axis regression detail line.
+func writeAllocAxis(w io.Writer, unit string, old, new, pct float64, regressed bool) {
+	if !regressed {
+		return
+	}
+	if old > 0 {
+		fmt.Fprintf(w, "%40s %15.0f %s -> %.0f (%+.1f%%)  << REGRESSION\n", "", old, unit, new, pct)
+	} else {
+		fmt.Fprintf(w, "%40s %15.0f %s -> %.0f (was a zero-alloc pin)  << REGRESSION\n", "", old, unit, new)
+	}
 }

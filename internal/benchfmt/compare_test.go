@@ -60,6 +60,60 @@ func TestCompareZeroOldNs(t *testing.T) {
 	}
 }
 
+func resMem(name string, ns, bytes, allocs float64) Result {
+	return Result{Name: name, Procs: 8, Iterations: 3, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+}
+
+func TestCompareAllocAxesGateRelativeGrowth(t *testing.T) {
+	old := []Result{resMem("BenchmarkA", 100, 100, 10)}
+	// +10% on either allocation axis stays under a 15% gate.
+	if regs := Compare(old, []Result{resMem("BenchmarkA", 100, 110, 11)}, 15).Regressions(); len(regs) != 0 {
+		t.Fatalf("10%% alloc growth flagged at a 15%% gate: %+v", regs)
+	}
+	// +20% B/op fails, and only on that axis.
+	regs := Compare(old, []Result{resMem("BenchmarkA", 100, 120, 10)}, 15).Regressions()
+	if len(regs) != 1 || !regs[0].BytesRegressed || regs[0].AllocsRegressed || regs[0].Regressed {
+		t.Fatalf("B/op regression verdicts = %+v", regs)
+	}
+	// +20% allocs/op fails too.
+	regs = Compare(old, []Result{resMem("BenchmarkA", 100, 100, 12)}, 15).Regressions()
+	if len(regs) != 1 || !regs[0].AllocsRegressed || regs[0].BytesRegressed {
+		t.Fatalf("allocs/op regression verdicts = %+v", regs)
+	}
+}
+
+func TestCompareZeroAllocPinIsAbsolute(t *testing.T) {
+	// A benchmark pinned at 0 B/op, 0 allocs/op that starts allocating
+	// fails regardless of percentage — there is no percentage.
+	old := []Result{resMem("BenchmarkHot", 100, 0, 0)}
+	c := Compare(old, []Result{resMem("BenchmarkHot", 100, 16, 1)}, 15)
+	regs := c.Regressions()
+	if len(regs) != 1 || !regs[0].BytesRegressed || !regs[0].AllocsRegressed {
+		t.Fatalf("lost zero-alloc pin not flagged: %+v", regs)
+	}
+	var buf bytes.Buffer
+	if WriteCompare(&buf, c) {
+		t.Fatal("lost pin reported ok")
+	}
+	if !strings.Contains(buf.String(), "zero-alloc pin") {
+		t.Fatalf("rendering lacks the pin detail:\n%s", buf.String())
+	}
+	// Dropping back to zero is an improvement, never a flag.
+	c = Compare([]Result{resMem("BenchmarkHot", 100, 16, 1)}, []Result{resMem("BenchmarkHot", 100, 0, 0)}, 15)
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("regaining the pin was flagged: %+v", c.Regressions())
+	}
+}
+
+func TestCompareSeverityRanksLostPinWorst(t *testing.T) {
+	old := []Result{resMem("BenchmarkPin", 100, 0, 0), res("BenchmarkSlow", 100)}
+	neu := []Result{resMem("BenchmarkPin", 100, 0, 1), res("BenchmarkSlow", 300)}
+	regs := Compare(old, neu, 15).Regressions()
+	if len(regs) != 2 || regs[0].Name != "BenchmarkPin" {
+		t.Fatalf("lost pin should outrank a +200%% slowdown: %+v", regs)
+	}
+}
+
 func TestWriteCompareVerdicts(t *testing.T) {
 	var buf bytes.Buffer
 	ok := WriteCompare(&buf, Compare(

@@ -1,60 +1,95 @@
 package core
 
 import (
-	"sync"
+	"runtime"
+	"sync/atomic"
 	"time"
 )
 
 // SharedEstimator is the concurrency-safe variant of Estimator: the same
-// previous/current sample path behind a mutex, for deployments where the
-// samples arrive from a different goroutine than the one reading estimates —
-// e.g. one estimator per connection updated by a per-connection reader while
-// a central controller polls. The plain Estimator stays lock-free for
+// previous/current sample path, for deployments where the samples arrive
+// from a different goroutine than the one reading estimates — e.g. one
+// estimator per connection updated by a per-connection reader while a
+// central controller polls. The plain Estimator stays lock-free for
 // single-goroutine tick loops such as the simulator's.
+//
+// Update is //e2e:hotpath: it runs once per tick on every connection, so
+// with 100k connections a mutex-and-defer body is measurable GC and
+// scheduler pressure. Instead the writer side spins on a single CAS word —
+// updates for one estimator are near-uniform in cost and ticks are sparse
+// relative to their duration, so the spin is shorter than a futex round
+// trip — while the read-side accessors (Estimates, DegradedCount) serve
+// from atomic mirrors refreshed at the end of each update and never touch
+// the writer's cache line: a poller sweeping thousands of estimators
+// contends with none of them. The padding keeps the spin word, the
+// estimator state and the mirrors on separate cache lines so the poller's
+// reads do not false-share with the writer.
 //
 // The zero value is ready to use.
 type SharedEstimator struct {
-	mu  sync.Mutex
+	// writing is the writer spinlock: 0 free, 1 held. Update and Reset are
+	// the only writers; both are expected to be rare relative to reads.
+	writing atomic.Uint32
+	_       [60]byte // keep the spin word off the state's cache line
+
 	est Estimator
+	_   [64]byte // keep the read mirrors off the writer's cache lines
+
+	// Read-side mirrors, refreshed under the spinlock at the end of every
+	// update and read without any lock.
+	estimates atomic.Uint64
+	degraded  atomic.Uint64
+	// maxRemoteAge carries SetMaxRemoteAge's bound (as nanoseconds) to the
+	// next update without making configuration writers spin.
+	maxRemoteAge atomic.Int64
 }
+
+func (e *SharedEstimator) lock() {
+	for !e.writing.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (e *SharedEstimator) unlock() { e.writing.Store(0) }
 
 // Update folds in a new sample and returns the estimate for the interval
 // since the previous one, exactly like Estimator.Update. Concurrent callers
 // serialize: each sees a consistent (prev, current) pair, so every returned
 // interval is well-formed even under contention.
+//
+//e2e:hotpath
 func (e *SharedEstimator) Update(s Sample) Estimate {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.est.Update(s)
+	e.lock()
+	e.est.MaxRemoteAge = time.Duration(e.maxRemoteAge.Load())
+	est := e.est.Update(s)
+	e.estimates.Store(e.est.Estimates())
+	e.degraded.Store(e.est.DegradedCount())
+	e.unlock()
+	return est
 }
 
 // Reset discards the priming state.
 func (e *SharedEstimator) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lock()
 	e.est.Reset()
+	e.unlock()
 }
 
-// Estimates returns how many valid estimates have been produced.
+// Estimates returns how many valid estimates have been produced. It reads
+// an atomic mirror and never contends with Update.
 func (e *SharedEstimator) Estimates() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.est.Estimates()
+	return e.estimates.Load()
 }
 
 // SetMaxRemoteAge configures the staleness bound on the peer's metadata,
 // like setting Estimator.MaxRemoteAge. Safe to call concurrently with
 // Update; the new bound applies from the next update on.
 func (e *SharedEstimator) SetMaxRemoteAge(d time.Duration) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.est.MaxRemoteAge = d
+	e.maxRemoteAge.Store(int64(d))
 }
 
 // DegradedCount returns how many post-priming updates ran without usable
-// peer metadata.
+// peer metadata. Like Estimates, it reads an atomic mirror.
 func (e *SharedEstimator) DegradedCount() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.est.DegradedCount()
+	return e.degraded.Load()
 }

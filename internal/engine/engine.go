@@ -140,6 +140,12 @@ type TickResult struct {
 	Samples []core.Sample
 }
 
+// PerPort and Samples are views into the endpoint's scratch buffers: they
+// are valid only until the next Tick on the same endpoint. OnTick and
+// Observer callbacks that retain tick data across ticks must copy the
+// slices' contents; the engine reuses the backing arrays so a steady-state
+// tick allocates nothing (//e2e:hotpath, DESIGN.md §13).
+
 // Stats counts an endpoint's activity.
 type Stats struct {
 	// TotalTicks counts every Tick; OnTicks those where a controller
@@ -161,6 +167,12 @@ type Endpoint struct {
 	ports []Port
 	ests  []core.Estimator
 
+	// perPort and samples are the tick's scratch buffers, allocated once at
+	// construction and re-filled every tick (TickResult hands out views).
+	// samples stays nil unless an Observer is configured.
+	perPort []core.Estimate
+	samples []core.Sample
+
 	modeErrRun int
 	stats      Stats
 	tickers    []Ticker
@@ -176,7 +188,15 @@ func New(cfg Config, ports ...Port) *Endpoint {
 	if cfg.Controller != nil && cfg.AIMD != nil {
 		panic("engine: Controller and AIMD are mutually exclusive")
 	}
-	ep := &Endpoint{cfg: cfg, ports: ports, ests: make([]core.Estimator, len(ports))}
+	ep := &Endpoint{
+		cfg:     cfg,
+		ports:   ports,
+		ests:    make([]core.Estimator, len(ports)),
+		perPort: make([]core.Estimate, len(ports)),
+	}
+	if cfg.Observer != nil {
+		ep.samples = make([]core.Sample, len(ports))
+	}
 	for i := range ep.ests {
 		ep.ests[i].MaxRemoteAge = cfg.MaxRemoteAge
 	}
@@ -188,13 +208,15 @@ func New(cfg Config, ports ...Port) *Endpoint {
 
 // Tick runs one iteration of the control loop at time now: snapshot every
 // port, update the estimators, route the estimate to the configured policy,
-// and apply the decision back to every port.
+// and apply the decision back to every port. The returned result's PerPort
+// and Samples slices are views into the endpoint's scratch buffers (see
+// TickResult); a steady-state tick performs zero heap allocations.
+//
+//e2e:hotpath
 func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 	var r TickResult
-	r.PerPort = make([]core.Estimate, len(ep.ports))
-	if ep.cfg.Observer != nil {
-		r.Samples = make([]core.Sample, len(ep.ports))
-	}
+	r.PerPort = ep.perPort
+	r.Samples = ep.samples // nil unless an Observer is configured
 	for i, p := range ep.ports {
 		s := p.Snapshot(now)
 		if r.Samples != nil {

@@ -11,20 +11,34 @@ import (
 	"reflect"
 	"testing"
 
+	"e2ebatch/internal/core"
 	"e2ebatch/internal/engine"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/qstate"
 )
 
-// recordingObserver retains every ObserveTick delivery.
+// recordingObserver retains every ObserveTick delivery. TickResult.PerPort
+// and .Samples are views into the endpoint's scratch buffers, valid only
+// during the callback (the zero-alloc tick contract), so an observer that
+// retains results across ticks — like this one — must copy them out.
 type recordingObserver struct {
 	at []qstate.Time
 	rs []engine.TickResult
 }
 
 func (o *recordingObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
+	r = copyTickResult(r)
 	o.at = append(o.at, now)
 	o.rs = append(o.rs, r)
+}
+
+// copyTickResult detaches a tick result from the endpoint's scratch buffers.
+func copyTickResult(r engine.TickResult) engine.TickResult {
+	r.PerPort = append([]core.Estimate(nil), r.PerPort...)
+	if r.Samples != nil {
+		r.Samples = append([]core.Sample(nil), r.Samples...)
+	}
+	return r
 }
 
 func TestObserverReceivesEveryTickExactly(t *testing.T) {
@@ -42,7 +56,9 @@ func TestObserverReceivesEveryTickExactly(t *testing.T) {
 			p1.busy(now-2*ms, ms)
 			p2.busy(now-2*ms, ms)
 		}
-		returned = append(returned, ep.Tick(now))
+		// The caller is under the same view contract as the observer: copy
+		// before the next Tick reuses the scratch buffers.
+		returned = append(returned, copyTickResult(ep.Tick(now)))
 	}
 
 	if len(ob.rs) != len(ticks) {

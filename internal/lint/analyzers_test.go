@@ -60,6 +60,14 @@ func TestObsDeterminismGoldenUnrestricted(t *testing.T) {
 	runExpectNone(t, ObsDeterminism, "obsdeterminism")
 }
 
+func TestHotPathGolden(t *testing.T) {
+	runGolden(t, HotPath, "hotpath")
+}
+
+func TestEscapesGolden(t *testing.T) {
+	runGolden(t, Escapes, "escapes")
+}
+
 func TestMutexHoldGoldenUnrestricted(t *testing.T) {
 	// Outside qstate/core/policy the same code is not this analyzer's
 	// business (realtcp's server does socket I/O under its own locks by

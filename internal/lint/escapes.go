@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escapes is the compiler-backed half of the hot-path allocation gate: where
+// the hotpath analyzer pattern-matches allocation-forcing syntax, this one
+// asks the gc compiler's escape analysis for ground truth. It rebuilds every
+// package containing //e2e:hotpath functions (or their intra-module callees)
+// with -gcflags=-m, parses the escape diagnostics, and fails when a local
+// inside a hot function moves to the heap — the case the AST pass cannot
+// prove either way, e.g. a pointer that leaks through a callee's parameter.
+//
+// Only "moved to heap:" and "escapes to heap" diagnostics landing inside a
+// hot function's source range are findings; inlining chatter and
+// "does not escape" confirmations are discarded. The build runs through the
+// normal go build cache, so a warm tree re-checks in milliseconds.
+//
+// The compiler is a heavyweight dependency relative to the pure go/types
+// suite, so cmd/e2elint runs this analyzer only under its -escapes flag
+// (wired into `make tier1`), keeping plain `e2elint ./...` fast.
+var Escapes = &Analyzer{
+	Name:      "escapes",
+	Doc:       "fail when gc escape analysis moves an //e2e:hotpath function's locals to the heap",
+	RunModule: runEscapes,
+}
+
+// escapeDiagRe matches one compiler diagnostic: path:line:col: message.
+var escapeDiagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func runEscapes(p *ModulePass) {
+	closure := hotClosure(p.Pkgs)
+	if len(closure) == 0 {
+		return
+	}
+
+	// Index hot functions by absolute file and line range, and collect the
+	// distinct packages to rebuild. Loose (testdata) packages compile by
+	// directory, module packages by import path.
+	type span struct {
+		start, end int
+		file       string // the filename as the Fset knows it, for reporting
+		where      string
+	}
+	spans := map[string][]span{}      // absolute file path -> hot ranges
+	cold := map[string]map[int]bool{} // absolute file path -> panic-arg lines
+	moduleDir := ""
+	targets := map[string]bool{} // build target -> is a main package
+	for _, e := range closure {
+		pos := e.fn.pkg.Fset.Position(e.fn.decl.Pos())
+		end := e.fn.pkg.Fset.Position(e.fn.decl.End())
+		abs, err := filepath.Abs(pos.Filename)
+		if err != nil {
+			continue
+		}
+		// The same panic exemption the AST pass applies: escapes forced by
+		// the arguments of a panic call are off the live path.
+		info, fset := e.fn.pkg.Info, e.fn.pkg.Fset
+		ast.Inspect(e.fn.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPanicCall(info, call) {
+				return true
+			}
+			if cold[abs] == nil {
+				cold[abs] = map[int]bool{}
+			}
+			for l := fset.Position(call.Pos()).Line; l <= fset.Position(call.End()).Line; l++ {
+				cold[abs][l] = true
+			}
+			return true
+		})
+		where := "//e2e:hotpath function " + e.root
+		if name := funcDisplayName(e.fn.decl); name != e.root {
+			where = name + ", on the hot path of //e2e:hotpath " + e.root
+		}
+		spans[abs] = append(spans[abs], span{pos.Line, end.Line, pos.Filename, where})
+		moduleDir = e.fn.pkg.moduleDir
+		isMain := e.fn.pkg.Types != nil && e.fn.pkg.Types.Name() == "main"
+		if e.fn.pkg.loose {
+			if rel, err := filepath.Rel(moduleDir, mustAbs(e.fn.pkg.Dir)); err == nil {
+				targets["./"+filepath.ToSlash(rel)] = isMain
+			}
+		} else {
+			targets[e.fn.pkg.Path] = isMain
+		}
+	}
+
+	// -gcflags=-m applies to the packages named on the command line, so the
+	// compiler reports on exactly the hot packages. go build discards the
+	// compiled objects for non-main packages and multi-package builds; only
+	// a lone main package would drop a binary into moduleDir, so that one
+	// case diverts it to a throwaway file.
+	args := []string{"build", "-gcflags=-m"}
+	if len(targets) == 1 {
+		for _, isMain := range targets {
+			if isMain {
+				tmp, err := os.MkdirTemp("", "e2elint-escapes-")
+				if err != nil {
+					p.ReportAt(token.Position{}, "escape analysis setup failed: %v", err)
+					return
+				}
+				defer os.RemoveAll(tmp)
+				args = append(args, "-o", filepath.Join(tmp, "bin"))
+			}
+		}
+	}
+	flags := len(args)
+	for t := range targets {
+		args = append(args, t)
+	}
+	sort.Strings(args[flags:])
+	out, err := goBuildDiag(moduleDir, args...)
+	if err != nil {
+		p.ReportAt(token.Position{}, "go build -gcflags=-m failed: %v", err)
+		return
+	}
+
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeDiagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasPrefix(msg, "moved to heap:") && !strings.Contains(msg, "escapes to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		file = filepath.Clean(file)
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		if cold[file][ln] {
+			continue
+		}
+		for _, s := range spans[file] {
+			if ln >= s.start && ln <= s.end {
+				// Report under the Fset's spelling of the filename so
+				// //lint:ignore directives (matched by Fset position) apply.
+				p.ReportAt(token.Position{Filename: s.file, Line: ln, Column: col},
+					"compiler escape analysis: %s in %s", msg, s.where)
+				break
+			}
+		}
+	}
+}
+
+func mustAbs(path string) string {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return path
+	}
+	return abs
+}
+
+// goBuildDiag runs a go command and returns its stderr — where the compiler
+// writes -m diagnostics — on success. The diagnostics replay from the build
+// cache, so repeated runs over an unchanged tree stay cheap.
+func goBuildDiag(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	return stderr.Bytes(), nil
+}

@@ -1,11 +1,13 @@
 // Package lint is e2ebatch's project-specific static analysis suite: a
 // small analyzer framework (deliberately shaped after
 // golang.org/x/tools/go/analysis, but built on the standard library alone so
-// the repo stays dependency-free) plus eight analyzers that mechanically
-// enforce the concurrency, determinism and single-control-loop invariants
-// the estimator's correctness depends on. The rules themselves live in one file per
+// the repo stays dependency-free) plus ten analyzers that mechanically
+// enforce the concurrency, determinism, single-control-loop and hot-path
+// allocation invariants the estimator's correctness and overhead budget
+// depend on. The rules themselves live in one file per
 // analyzer; DESIGN.md §8 "Enforced invariants" maps each rule to the paper
-// algorithm or PR-1 guarantee it guards.
+// algorithm or PR-1 guarantee it guards, and §13 covers the allocation
+// discipline (hotpath, escapes).
 //
 // The suite is wired into tier-1 CI via cmd/e2elint and `make lint`: what
 // used to be doc-comment contracts ("the plain State stays lock-free for
@@ -26,11 +28,15 @@ import (
 
 // An Analyzer describes one project rule: a name (used in diagnostics and in
 // //lint:ignore directives as "e2elint/<name>"), a short doc string, and the
-// function that inspects one package.
+// function that inspects one package (Run) or the whole loaded package set
+// at once (RunModule — the shape the cross-package hot-path rules need,
+// since an annotated function's callees may live in a different package).
+// Exactly one of Run and RunModule is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // A Pass carries one type-checked package through one analyzer. Analyzers
@@ -66,6 +72,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ModulePass carries the whole loaded package set through one
+// module-level analyzer (Analyzer.RunModule). All packages share one
+// token.FileSet, so positions from any package resolve uniformly.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an already-resolved position — the entry
+// point for rules whose evidence comes from outside the fileset, e.g. the
+// escapes analyzer parsing compiler diagnostics.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Analyzers returns the full suite in stable order. cmd/e2elint runs exactly
 // this set; the driver test pins the count so a new analyzer cannot be added
 // without registering it here.
@@ -79,26 +112,61 @@ func Analyzers() []*Analyzer {
 		MutexHold,
 		EngineWiring,
 		ObsDeterminism,
+		HotPath,
+		Escapes,
 	}
 }
 
-// Check runs every analyzer over pkg, applies the //lint:ignore directives
-// found in the package's files, and returns the surviving diagnostics plus
-// any malformed-directive findings, sorted by position.
+// Check runs every analyzer over one package — the single-package
+// convenience over CheckPackages. Module-level analyzers see just this
+// package, so their callee traversal stays within it.
 func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return CheckPackages([]*Package{pkg}, analyzers)
+}
+
+// CheckPackages runs every analyzer over pkgs — per-package rules on each
+// package, module-level rules once over the whole set — applies the
+// //lint:ignore directives found in any package's files, and returns the
+// surviving diagnostics plus any malformed-directive findings, sorted by
+// position.
+func CheckPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
 		}
-		a.Run(pass)
-		diags = append(diags, pass.diags...)
 	}
-	ignores, bad := collectIgnores(pkg)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs}
+		if len(pkgs) > 0 {
+			mp.Fset = pkgs[0].Fset
+		}
+		a.RunModule(mp)
+		diags = append(diags, mp.diags...)
+	}
+	ignores := map[ignoreKey]bool{}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		ig, b := collectIgnores(pkg)
+		for k := range ig {
+			ignores[k] = true
+		}
+		bad = append(bad, b...)
+	}
 	diags = append(filterIgnored(diags, ignores), bad...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

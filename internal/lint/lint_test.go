@@ -7,13 +7,16 @@ import (
 
 func TestAnalyzerRegistry(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 8 {
-		t.Fatalf("suite has %d analyzers, want 8 (locksafety, detrand, wallclock, snapshotpair, wiresize, mutexhold, enginewiring, obsdeterminism)", len(as))
+	if len(as) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10 (locksafety, detrand, wallclock, snapshotpair, wiresize, mutexhold, enginewiring, obsdeterminism, hotpath, escapes)", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v is missing a name, doc or run function", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v is missing a name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
@@ -34,10 +37,11 @@ func TestSuiteCleanOnTree(t *testing.T) {
 	if len(pkgs) < 15 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		for _, d := range Check(pkg, Analyzers()) {
-			t.Errorf("%s", d)
-		}
+	// One CheckPackages call, not one per package: the module-level analyzers
+	// (hotpath, escapes) must see the whole package set so cross-package
+	// callee edges resolve.
+	for _, d := range CheckPackages(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
 	}
 }
 

@@ -25,6 +25,14 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// loose marks a directory loaded outside the go tool's package graph
+	// (LoadDir testdata); moduleDir is the module root it resolved
+	// against. The escapes analyzer uses both to rebuild the package with
+	// the real compiler: loose packages compile by directory, module
+	// packages by import path.
+	loose     bool
+	moduleDir string
 }
 
 // A Loader resolves and type-checks packages using the go toolchain's build
@@ -137,7 +145,12 @@ func (l *Loader) LoadDirAs(dir, asPath string) (*Package, error) {
 	if asPath == "" {
 		asPath = "testdata/" + filepath.Base(dir)
 	}
-	return l.check(asPath, dir, files)
+	pkg, err := l.check(asPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.loose = true
+	return pkg, nil
 }
 
 // list runs go list once and caches the export map plus the module packages.
@@ -196,7 +209,8 @@ func (l *Loader) check(path, dir string, files []string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: astFiles, Types: tpkg, Info: info}, nil
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: astFiles,
+		Types: tpkg, Info: info, moduleDir: l.ModuleDir}, nil
 }
 
 // matchesPattern reports whether a listed package (part of -deps output)

@@ -1,0 +1,41 @@
+// Package escapes is golden testdata for e2elint/escapes: the compiler's
+// escape analysis is the oracle, so each want line matches a -gcflags=-m
+// diagnostic rather than an AST pattern. "moved to heap" lands on the
+// variable's declaration line; "escapes to heap" on the boxing expression.
+package escapes
+
+var sink *int
+
+var iface any
+
+//e2e:hotpath
+func Leak() {
+	x := 42 // want "compiler escape analysis: moved to heap: x in //e2e:hotpath function Leak"
+	sink = &x
+	_ = x
+}
+
+//e2e:hotpath
+func Box(v int) {
+	iface = v // want "compiler escape analysis: v escapes to heap in //e2e:hotpath function Box"
+}
+
+//e2e:hotpath
+func Clean(v int) int {
+	y := v * 2
+	return y + 1
+}
+
+// coldLeak escapes just like Leak but carries no annotation, so the
+// analyzer must stay silent about it.
+func coldLeak() *int {
+	z := 7
+	return &z
+}
+
+//e2e:hotpath
+func Justified() {
+	//lint:ignore e2elint/escapes one-time registration, off the tick
+	w := 9
+	sink = &w
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"e2ebatch/internal/core"
@@ -36,8 +37,9 @@ func snapQueues(q core.Queues) SnapQueues {
 // DecisionRecord is one engine tick as the telemetry plane saw it: which
 // snapshot produced which estimate, how the estimate decomposed into local
 // and remote views, whether the tick was degraded, whether the policy
-// explored, what mode came out, and whether applying it succeeded. Records
-// are immutable once published.
+// explored, what mode came out, and whether applying it succeeded. The ring
+// stores records by value, so a pushed record is a frozen copy regardless
+// of what the pusher does with its scratch afterwards.
 type DecisionRecord struct {
 	// Seq is the record's position in the endpoint's decision stream
 	// (0-based, monotone).
@@ -76,14 +78,25 @@ type DecisionRecord struct {
 	ApplyErrors int    `json:"apply_errors"`
 }
 
-// Ring is a fixed-capacity ring buffer of decision records with lock-free
-// reads: writers publish immutable records through atomic pointers, readers
-// copy pointers out with atomic loads. No reader can block a tick and no
-// tick can tear a read. Writes from multiple endpoints are safe (slots are
-// claimed with an atomic counter); per-endpoint record order is preserved
-// because each endpoint ticks on one goroutine.
+// ringSlot is one record slot. Records are stored by value under a per-slot
+// mutex: a writer copies the record in, a reader copies it out, and neither
+// ever holds more than one slot's lock at a time.
+type ringSlot struct {
+	mu  sync.Mutex
+	rec DecisionRecord
+	ok  bool // a record has been stored here
+}
+
+// Ring is a fixed-capacity ring buffer of decision records. Slots are
+// claimed with an atomic counter and records are stored by value into
+// per-slot mutexes, so publishing a record allocates nothing — the push
+// side sits on the engine tick (//e2e:hotpath) and must not feed the GC.
+// Readers lock one slot at a time for the copy-out, so a reader can stall a
+// writer only on that single slot, never the ring. Writes from multiple
+// endpoints are safe; per-endpoint record order is preserved because each
+// endpoint ticks on one goroutine.
 type Ring struct {
-	slots []atomic.Pointer[DecisionRecord]
+	slots []ringSlot
 	next  atomic.Uint64 // sequence of the next record to be written
 }
 
@@ -93,7 +106,7 @@ func NewRing(n int) *Ring {
 	if n <= 0 {
 		n = 1024
 	}
-	return &Ring{slots: make([]atomic.Pointer[DecisionRecord], n)}
+	return &Ring{slots: make([]ringSlot, n)}
 }
 
 // Cap returns the ring's capacity.
@@ -102,18 +115,29 @@ func (r *Ring) Cap() int { return len(r.slots) }
 // Len returns how many records have ever been pushed.
 func (r *Ring) Len() uint64 { return r.next.Load() }
 
-// Push publishes rec, stamping its Seq. The caller must not mutate rec
-// afterwards.
+// Push publishes a copy of *rec, stamping rec.Seq. The caller keeps
+// ownership of rec and may reuse it for the next record (the scratch-record
+// pattern EngineObserver uses).
+//
+//e2e:hotpath
 func (r *Ring) Push(rec *DecisionRecord) {
 	seq := r.next.Add(1) - 1
 	rec.Seq = seq
-	r.slots[seq%uint64(len(r.slots))].Store(rec)
+	sl := &r.slots[seq%uint64(len(r.slots))]
+	sl.mu.Lock()
+	// A slower concurrent pusher may reach a slot after the writer that
+	// lapped it; never let a stale record overwrite a newer one.
+	if !sl.ok || sl.rec.Seq < seq {
+		sl.rec = *rec
+		sl.ok = true
+	}
+	sl.mu.Unlock()
 }
 
-// Last returns up to n of the most recent records, oldest first. It never
-// blocks writers; records overwritten mid-read are simply skipped (their
-// slot then holds a newer record, which is filtered by sequence).
-func (r *Ring) Last(n int) []*DecisionRecord {
+// Last returns up to n of the most recent records, oldest first, copied out
+// by value. Records overwritten mid-read are simply skipped (their slot
+// then holds a newer record, which is filtered by sequence).
+func (r *Ring) Last(n int) []DecisionRecord {
 	head := r.next.Load()
 	if n <= 0 || head == 0 {
 		return nil
@@ -124,10 +148,13 @@ func (r *Ring) Last(n int) []*DecisionRecord {
 	if n > len(r.slots) {
 		n = len(r.slots)
 	}
-	out := make([]*DecisionRecord, 0, n)
+	out := make([]DecisionRecord, 0, n)
 	for seq := head - uint64(n); seq < head; seq++ {
-		rec := r.slots[seq%uint64(len(r.slots))].Load()
-		if rec != nil && rec.Seq == seq {
+		sl := &r.slots[seq%uint64(len(r.slots))]
+		sl.mu.Lock()
+		rec, ok := sl.rec, sl.ok
+		sl.mu.Unlock()
+		if ok && rec.Seq == seq {
 			out = append(out, rec)
 		}
 	}
@@ -138,7 +165,7 @@ func (r *Ring) Last(n int) []*DecisionRecord {
 func (r *Ring) WriteJSONL(w io.Writer, n int) error {
 	enc := json.NewEncoder(w)
 	for _, rec := range r.Last(n) {
-		if err := enc.Encode(rec); err != nil {
+		if err := enc.Encode(&rec); err != nil {
 			return err
 		}
 	}

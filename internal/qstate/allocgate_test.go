@@ -1,0 +1,36 @@
+//go:build !race
+
+// Allocation gates are the runtime layer of the hot-path allocation
+// discipline (DESIGN.md §13): the hotpath analyzer rejects allocation-forcing
+// syntax, `e2elint -escapes` asks the compiler's escape analysis, and these
+// tests pin the *observed* allocation count of every //e2e:hotpath function
+// in this package at zero. Excluded under -race because the race runtime
+// allocates shadow state that AllocsPerRun would charge to the tracked code.
+
+package qstate
+
+import "testing"
+
+func allocGate(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, f); n != 0 {
+		t.Errorf("%s allocates %v per op, want 0 (//e2e:hotpath)", name, n)
+	}
+}
+
+func TestAllocGateTracker(t *testing.T) {
+	tr := NewTracker(0)
+	now := Time(0)
+	allocGate(t, "Tracker.Track", func() {
+		now++
+		tr.Track(now, 1)
+		now++
+		tr.Track(now, -1)
+	})
+	allocGate(t, "Tracker.Snapshot", func() {
+		now++
+		_ = tr.Snapshot(now)
+	})
+	allocGate(t, "Tracker.Peek", func() { _ = tr.Peek() })
+	allocGate(t, "Tracker.Size", func() { _ = tr.Size() })
+}

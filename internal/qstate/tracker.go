@@ -16,6 +16,12 @@ import "sync"
 // interval). The few-nanosecond inversions this absorbs are far below the
 // microsecond wire resolution and do not bias the integral.
 //
+// Track and Snapshot sit on the per-request hot path (every enqueue,
+// dequeue and tick crosses them), so they are //e2e:hotpath: zero
+// allocations, and explicit unlocks instead of defer. The one panic State
+// can raise (negative queue size) leaves the mutex held — that panic is a
+// fatal bookkeeping bug, not a recoverable condition.
+//
 // The zero value is a valid tracker for a queue empty at time 0.
 type Tracker struct {
 	mu sync.Mutex
@@ -33,43 +39,55 @@ func NewTracker(now Time) *Tracker {
 // time now, clamping backwards timestamps as described on Tracker. Driving
 // the queue size negative still panics: that is a bookkeeping bug no amount
 // of scheduling jitter explains.
+//
+//e2e:hotpath
 func (t *Tracker) Track(now Time, nitems int64) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if now < t.st.Time {
 		now = t.st.Time
 	}
 	t.st.Track(now, nitems)
+	t.mu.Unlock()
 }
 
 // Snapshot captures the 3-tuple at time now, first advancing the integral so
 // the snapshot is consistent at exactly now (clamped like Track).
+//
+//e2e:hotpath
 func (t *Tracker) Snapshot(now Time) Snapshot {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if now < t.st.Time {
 		now = t.st.Time
 	}
-	return t.st.Snapshot(now)
+	s := t.st.Snapshot(now)
+	t.mu.Unlock()
+	return s
 }
 
 // Peek returns the 3-tuple as of the last update without advancing time.
+//
+//e2e:hotpath
 func (t *Tracker) Peek() Snapshot {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.st.Peek()
+	s := t.st.Peek()
+	t.mu.Unlock()
+	return s
 }
 
 // Size returns the current queue occupancy.
+//
+//e2e:hotpath
 func (t *Tracker) Size() int64 {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.st.Size
+	n := t.st.Size
+	t.mu.Unlock()
+	return n
 }
 
 // State returns a copy of the full 4-tuple, for counter dumps.
 func (t *Tracker) State() State {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.st
+	st := t.st
+	t.mu.Unlock()
+	return st
 }

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke cover bench bench-diff fidelity-smoke clean
+.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke cover bench bench-diff fidelity-smoke tail-fidelity-smoke clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -16,6 +16,7 @@ GOFMT ?= gofmt
 #          ├─ test ─→ build
 #          ├─ race ─→ build
 #          ├─ fidelity-smoke ─→ build
+#          ├─ tail-fidelity-smoke ─→ build
 #          └─ bench-diff ─→ build
 #   cover ──→ build           (slow; run on demand, not part of the gate)
 #
@@ -24,7 +25,7 @@ GOFMT ?= gofmt
 # fuzz-seed and stress tests all still run. fidelity-smoke and bench-diff
 # are both short-run-safe: the smoke replays the zoo at a reduced duration,
 # and bench-diff degrades to a no-op note until two archives exist.
-tier1: vet lint escapes allocgate build test race obs-smoke fidelity-smoke bench-diff
+tier1: vet lint escapes allocgate build test race obs-smoke fidelity-smoke tail-fidelity-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
@@ -73,20 +74,23 @@ obs-smoke: build
 # summary, and enforces floors on the packages whose edge cases the paper's
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
 # combination (core), the fault-injection subsystem (faults), and the shared
-# control loop (engine), plus the PR-8 telemetry plane (obs), the benchmark
+# control loop (engine), plus the decision policies (policy, floored when
+# tail-SLO objectives landed), the PR-8 telemetry plane (obs), the benchmark
 # artifact parser (benchfmt), the model-fidelity corpus: the workload
 # zoo (loadgen) and the closed-form rival (analytic), and the invariant
 # analyzer suite itself (lint). Floors sit a few points under measured
 # coverage at introduction (qstate 98.9%, core 92.9%, faults 95.5%, engine
 # 96.1%, obs 89.6%, benchfmt 92.6%, loadgen 96.1%, analytic 96.4%, lint
-# 90.0%) so incidental drift passes but a feature landing untested does
+# 90.0%, policy 98.7%; core re-floored at 90 with the tail-composition
+# coverage) so incidental drift passes but a feature landing untested does
 # not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
 	@$(GO) tool cover -func=cover.out | tail -1
 	@awk 'BEGIN { floor["e2ebatch/internal/qstate"]=95; \
-		floor["e2ebatch/internal/core"]=88; \
+		floor["e2ebatch/internal/core"]=90; \
+		floor["e2ebatch/internal/policy"]=90; \
 		floor["e2ebatch/internal/faults"]=90; \
 		floor["e2ebatch/internal/engine"]=92; \
 		floor["e2ebatch/internal/obs"]=84; \
@@ -140,6 +144,12 @@ bench-diff: build
 # full 150 ms report is pinned byte-for-byte by TestFidelityGolden.
 fidelity-smoke: build
 	$(GO) run ./cmd/fidelity -dur 25ms -seed 2
+
+# tail-fidelity-smoke is the quantile analogue: the same zoo replay scored at
+# p50/p90/p99/p999 with v2 (histogram-carrying) metadata exchanges. The full
+# 150 ms report is pinned byte-for-byte by TestTailFidelityGolden.
+tail-fidelity-smoke: build
+	$(GO) run ./cmd/fidelity -tails -dur 25ms -seed 2
 
 clean:
 	$(GO) clean ./...

@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/fidelity [-dur 150ms] [-seed 1] [-breakdown]
+//	go run ./cmd/fidelity [-dur 150ms] [-seed 1] [-breakdown] [-tails]
 //
-// The same seed and duration always produce byte-identical output; the
-// default configuration is pinned by a golden test.
+// With -tails the tail-fidelity harness runs instead: the same zoo replay
+// scored at p50/p90/p99/p999 against the composed histogram estimator, the
+// closed-form Gamma tail, and the naive byte-quantile baseline (hypotheses
+// H6–H8). The same seed and duration always produce byte-identical output;
+// the default configurations are pinned by golden tests.
 package main
 
 import (
@@ -24,8 +27,13 @@ func main() {
 	dur := flag.Duration("dur", 150*time.Millisecond, "virtual duration of each workload run")
 	seed := flag.Int64("seed", 1, "base seed (each workload derives its own)")
 	breakdown := flag.Bool("breakdown", false, "also print the analytic per-stage breakdown")
+	tails := flag.Bool("tails", false, "run the tail-fidelity harness (quantiles instead of means)")
 	flag.Parse()
 
+	if *tails {
+		figures.WriteTailFidelity(os.Stdout, figures.TailFidelity(figures.DefaultCalib(), *dur, *seed))
+		return
+	}
 	out := figures.Fidelity(figures.DefaultCalib(), *dur, *seed)
 	figures.WriteFidelity(os.Stdout, out)
 	if *breakdown {

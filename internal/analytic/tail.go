@@ -1,0 +1,148 @@
+package analytic
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Closed-form tail rival. The mean model (e2e.go) predicts E[L] from P-K
+// sojourn means; the tail model extends it with a two-moment Gamma
+// approximation: each stage's sojourn is approximated as exponential with
+// its P-K mean (the M/M/1 sojourn is exactly exponential; M/G/1 sojourns
+// are approximately so for moderate service variability), so the end-to-end
+// sum of independent stage sojourns has mean m = ΣTᵢ and variance v = ΣTᵢ².
+// Matching a Gamma(k, θ) to those two moments (k = m²/v, θ = v/m) and
+// inverting it with the Wilson–Hilferty cube-root normal approximation gives
+// closed-form quantiles:
+//
+//	x_q ≈ k·θ·(1 − 1/(9k) + z_q·√(1/(9k)))³
+//
+// with z_q the standard normal quantile. The fixed (propagation) delay
+// shifts every quantile by a constant. Like the mean model, the tail rival
+// sees only workload statistics and calibration constants — its error vs
+// exact sim ground truth measures what a cheap a-priori formula buys at the
+// tail, which is exactly what hypotheses H6–H8 score.
+
+// zQuantiles pairs the harness's canonical quantiles with standard normal
+// quantiles (hardcoded: the harness never needs an inverse-normal beyond
+// these four points).
+var zQuantiles = [4]struct {
+	Q float64
+	Z float64
+}{
+	{0.50, 0},
+	{0.90, 1.2815515655446004},
+	{0.99, 2.3263478740408408},
+	{0.999, 3.090232306167813},
+}
+
+// TailOut is the closed-form tail prediction.
+type TailOut struct {
+	P50, P90, P99, P999 time.Duration
+	// Stable mirrors E2EOut.Stable: false when any stage saturates and the
+	// closed form abstains.
+	Stable bool
+	// Mean and Std are the matched two-moment summary the quantiles were
+	// derived from (diagnostics for reports).
+	Mean time.Duration
+	Std  time.Duration
+}
+
+// Quantile maps q onto the nearest canonical field, mirroring
+// core.TailEstimate.Quantile so harness code can score both uniformly.
+func (t TailOut) Quantile(q float64) time.Duration {
+	switch {
+	case q <= 0.50:
+		return t.P50
+	case q <= 0.90:
+		return t.P90
+	case q <= 0.99:
+		return t.P99
+	default:
+		return t.P999
+	}
+}
+
+// gammaQuantile inverts Gamma(k, θ) at z via Wilson–Hilferty.
+func gammaQuantile(k, theta, z float64) float64 {
+	if k <= 0 || theta <= 0 {
+		return 0
+	}
+	c := 1 / (9 * k)
+	t := 1 - c + z*math.Sqrt(c)
+	if t < 0 {
+		t = 0
+	}
+	return k * theta * t * t * t
+}
+
+// E2ETail evaluates the closed-form tail model for the same tandem
+// parameters the mean model consumes.
+func E2ETail(p E2EParams) TailOut {
+	mean := E2EDelay(p)
+	if !mean.Stable {
+		return TailOut{}
+	}
+	var m, v float64 // mean and variance of the variable part, ns / ns²
+	for _, sd := range mean.Stages {
+		t := float64(sd.Service + sd.Wait)
+		m += t
+		v += t * t // exponential stage: Var = mean²
+	}
+	out := TailOut{Stable: true}
+	out.Mean = time.Duration(m) + p.Fixed
+	out.Std = time.Duration(math.Sqrt(v))
+	if m <= 0 || v <= 0 {
+		// Degenerate tandem: every quantile is the fixed delay.
+		out.P50, out.P90, out.P99, out.P999 = p.Fixed, p.Fixed, p.Fixed, p.Fixed
+		return out
+	}
+	k := m * m / v
+	theta := v / m
+	qs := [4]time.Duration{}
+	for i, zq := range zQuantiles {
+		qs[i] = p.Fixed + time.Duration(gammaQuantile(k, theta, zq.Z))
+	}
+	out.P50, out.P90, out.P99, out.P999 = qs[0], qs[1], qs[2], qs[3]
+	return out
+}
+
+// NaiveByteTail is the tail strawman matching NaiveByteDelay: the empirical
+// q-quantile of per-request serialization time ((reqᵢ+respᵢ)·8/bw) plus the
+// round-trip propagation — request size spread is the only tail the naive
+// model can see; queueing, the actual driver of batching tails, is invisible
+// to it. reqBytes and respBytes pair up per request (shorter slice padded
+// with zeros).
+func NaiveByteTail(reqBytes, respBytes []float64, bitsPerSec float64, rtt time.Duration, q float64) time.Duration {
+	n := len(reqBytes)
+	if len(respBytes) > n {
+		n = len(respBytes)
+	}
+	if n == 0 || bitsPerSec <= 0 {
+		return rtt
+	}
+	ser := make([]float64, n)
+	for i := range ser {
+		var b float64
+		if i < len(reqBytes) {
+			b += reqBytes[i]
+		}
+		if i < len(respBytes) {
+			b += respBytes[i]
+		}
+		ser[i] = b * 8 * 1e9 / bitsPerSec
+	}
+	sort.Float64s(ser)
+	if math.IsNaN(q) || q <= 0 {
+		return rtt + time.Duration(ser[0])
+	}
+	if q >= 1 {
+		return rtt + time.Duration(ser[n-1])
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return rtt + time.Duration(ser[rank-1])
+}

@@ -1,0 +1,134 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestE2ETailSingleExponentialStage: one M/M/1-like stage's sojourn is
+// exactly exponential, where the Gamma matching is exact (k=1) and
+// Wilson–Hilferty is known to be accurate: p99 must land within 5% of the
+// exact −ln(0.01)·mean, p50 within 10% of ln 2·mean.
+func TestE2ETailSingleExponentialStage(t *testing.T) {
+	mean := 200 * time.Microsecond
+	p := E2EParams{
+		RatePerSec: 1, // negligible load: sojourn ≈ service
+		Stages:     []Stage{{Name: "one", Mean: mean, M2: 2 * float64(mean) * float64(mean)}},
+	}
+	out := E2ETail(p)
+	if !out.Stable {
+		t.Fatal("stable tandem abstained")
+	}
+	sojourn := float64(E2EDelay(p).Latency)
+	exactP99 := sojourn * math.Log(100)
+	if rel := (float64(out.P99) - exactP99) / exactP99; math.Abs(rel) > 0.05 {
+		t.Fatalf("p99 = %v, exact %v (%.1f%% off)", out.P99, time.Duration(exactP99), 100*rel)
+	}
+	exactP50 := sojourn * math.Ln2
+	if rel := (float64(out.P50) - exactP50) / exactP50; math.Abs(rel) > 0.10 {
+		t.Fatalf("p50 = %v, exact %v (%.1f%% off)", out.P50, time.Duration(exactP50), 100*rel)
+	}
+}
+
+// TestE2ETailErlangStages: four equal stages sum to an Erlang-4; the
+// two-moment Gamma match is then exact (k=4) and the W–H p99 must be within
+// 5% of the exact Erlang-4 0.99-quantile (≈ 10.045 × stage mean).
+func TestE2ETailErlangStages(t *testing.T) {
+	stage := Stage{Name: "s", Mean: 100 * time.Microsecond, M2: 2 * float64(100*time.Microsecond) * float64(100*time.Microsecond)}
+	p := E2EParams{RatePerSec: 1, Stages: []Stage{stage, stage, stage, stage}}
+	out := E2ETail(p)
+	perStage := float64(E2EDelay(p).Latency) / 4
+	exact := 10.045 * perStage
+	if rel := (float64(out.P99) - exact) / exact; math.Abs(rel) > 0.05 {
+		t.Fatalf("Erlang-4 p99 = %v, exact %v (%.1f%% off)", out.P99, time.Duration(exact), 100*rel)
+	}
+}
+
+// TestE2ETailShape: quantiles are monotone, shifted by Fixed, above the
+// median sits near-but-below the mean-plus-spread region, and the Quantile
+// accessor maps canonically.
+func TestE2ETailShape(t *testing.T) {
+	p := E2EParams{
+		RatePerSec: 20000,
+		Fixed:      150 * time.Microsecond,
+		Stages: []Stage{
+			{Name: "app", Mean: 10 * time.Microsecond, M2: 3e8},
+			{Name: "wire", Mean: 25 * time.Microsecond, M2: 9e8},
+		},
+	}
+	out := E2ETail(p)
+	if !out.Stable {
+		t.Fatal("abstained")
+	}
+	if !(out.P50 < out.P90 && out.P90 < out.P99 && out.P99 < out.P999) {
+		t.Fatalf("quantiles not strictly ordered: %+v", out)
+	}
+	if out.P50 < p.Fixed {
+		t.Fatalf("p50 %v below fixed delay %v", out.P50, p.Fixed)
+	}
+	if out.Quantile(0.5) != out.P50 || out.Quantile(0.9) != out.P90 ||
+		out.Quantile(0.99) != out.P99 || out.Quantile(0.9999) != out.P999 {
+		t.Fatal("Quantile accessor mismapped")
+	}
+	if out.Mean <= p.Fixed || out.Std <= 0 {
+		t.Fatalf("diagnostics not populated: %+v", out)
+	}
+}
+
+// TestE2ETailUnstableAbstains: a saturated stage zeroes the prediction,
+// mirroring E2EDelay.
+func TestE2ETailUnstableAbstains(t *testing.T) {
+	p := E2EParams{
+		RatePerSec: 1e6,
+		Stages:     []Stage{{Name: "sat", Mean: 10 * time.Microsecond, M2: 2e8}},
+	}
+	if out := E2ETail(p); out.Stable || out.P99 != 0 {
+		t.Fatalf("unstable tandem predicted %+v", out)
+	}
+}
+
+// TestE2ETailDegenerateFixedOnly: no stages means every quantile is the
+// fixed propagation delay.
+func TestE2ETailDegenerateFixedOnly(t *testing.T) {
+	p := E2EParams{RatePerSec: 1000, Fixed: 80 * time.Microsecond}
+	out := E2ETail(p)
+	if !out.Stable || out.P50 != p.Fixed || out.P999 != p.Fixed {
+		t.Fatalf("fixed-only tandem: %+v", out)
+	}
+}
+
+// TestNaiveByteTail: exact empirical quantiles of the per-request
+// serialization time plus RTT, with clamped and degenerate edges.
+func TestNaiveByteTail(t *testing.T) {
+	rtt := 100 * time.Microsecond
+	bw := 8e9 // 8 Gbit/s → 1 ns per byte
+	req := []float64{1000, 2000, 3000, 4000}
+	resp := []float64{0, 0, 0, 96000} // one heavy response dominates the tail
+	// Serialization times: 1, 2, 3, 100 µs.
+	if got := NaiveByteTail(req, resp, bw, rtt, 0.5); got != rtt+2*time.Microsecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := NaiveByteTail(req, resp, bw, rtt, 0.99); got != rtt+100*time.Microsecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := NaiveByteTail(req, resp, bw, rtt, 0); got != rtt+1*time.Microsecond {
+		t.Fatalf("q=0 = %v, want min", got)
+	}
+	if got := NaiveByteTail(req, resp, bw, rtt, 1); got != rtt+100*time.Microsecond {
+		t.Fatalf("q=1 = %v, want max", got)
+	}
+	if got := NaiveByteTail(req, resp, bw, rtt, math.NaN()); got != rtt+1*time.Microsecond {
+		t.Fatalf("q=NaN = %v, want min", got)
+	}
+	// Mismatched lengths pad with zeros; empty inputs fall back to RTT.
+	if got := NaiveByteTail(req[:1], nil, bw, rtt, 1); got != rtt+1*time.Microsecond {
+		t.Fatalf("req-only = %v", got)
+	}
+	if got := NaiveByteTail(nil, nil, bw, rtt, 0.99); got != rtt {
+		t.Fatalf("empty = %v, want rtt", got)
+	}
+	if got := NaiveByteTail(req, resp, 0, rtt, 0.99); got != rtt {
+		t.Fatalf("zero bandwidth = %v, want rtt", got)
+	}
+}

@@ -80,6 +80,11 @@ type Estimate struct {
 	// true means an exchange exists but aged past MaxRemoteAge, false
 	// means none has arrived over the interval at all.
 	RemoteStale bool
+	// Tail is the composed end-to-end quantile estimate (tail.go). It
+	// abstains (Valid=false) independently of the mean: a v1 peer without
+	// tail histograms, a reordered delta, or a degraded interval all leave
+	// the mean estimate usable while the tail stays invalid.
+	Tail TailEstimate
 }
 
 // viewLatency evaluates L_unacked^local − L_ackdelay^remote +
@@ -143,6 +148,15 @@ type Sample struct {
 	RemoteOK bool
 	At       qstate.Time
 	RemoteAt qstate.Time
+
+	// Tail histograms (tail.go): the local endpoint's cumulative per-queue
+	// delay histograms and the peer's, from its last v2 frame. The OK flags
+	// gate tail composition only — a v1 peer leaves RemoteTailsOK false and
+	// the mean estimate untouched.
+	LocalTails    qstate.WireTails
+	LocalTailsOK  bool
+	RemoteTails   qstate.WireTails
+	RemoteTailsOK bool
 }
 
 // Estimator turns a stream of samples into per-interval end-to-end
@@ -185,8 +199,17 @@ func (e *Estimator) Update(s Sample) Estimate {
 	if remoteOK {
 		remote = WireDelays(e.prev.Remote, s.Remote)
 	}
+	var tail TailEstimate
+	if remoteOK && e.prev.LocalTailsOK && s.LocalTailsOK && e.prev.RemoteTailsOK && s.RemoteTailsOK {
+		lt, lok := TailDistsBetween(&e.prev.LocalTails, &s.LocalTails)
+		rt, rok := TailDistsBetween(&e.prev.RemoteTails, &s.RemoteTails)
+		if lok && rok {
+			tail = ComposeTail(&lt, &rt, local, remote)
+		}
+	}
 	e.prev = s
 	est := EstimateE2E(local, remote)
+	est.Tail = tail
 	est.Degraded = !remoteOK
 	est.RemoteStale = stale
 	if est.Degraded {
@@ -234,6 +257,20 @@ func Aggregate(ests []Estimate) Estimate {
 		lsum += w * float64(e.Latency)
 		out.Throughput += e.Throughput
 		out.Valid = true
+		// Tails combine as the per-quantile max: an SLO over several
+		// connections binds on the slowest one, so the conservative
+		// aggregate is the envelope, not a weighted mean. Valid when at
+		// least one connection composed a tail.
+		if e.Tail.Valid {
+			if !out.Tail.Valid {
+				out.Tail = e.Tail
+			} else {
+				out.Tail.P50 = maxDur(out.Tail.P50, e.Tail.P50)
+				out.Tail.P90 = maxDur(out.Tail.P90, e.Tail.P90)
+				out.Tail.P99 = maxDur(out.Tail.P99, e.Tail.P99)
+				out.Tail.P999 = maxDur(out.Tail.P999, e.Tail.P999)
+			}
+		}
 	}
 	if out.Valid && wsum > 0 {
 		out.Latency = time.Duration(lsum / wsum)

@@ -1,0 +1,259 @@
+// Tail estimation: composing per-queue delay distributions into end-to-end
+// quantiles.
+//
+// The mean formula (estimator.go) composes per-queue Little's-law *averages*.
+// For tail SLOs the same decomposition applies to distributions: under the
+// Kleinrock independence assumption — each queue's delay is independent of
+// the others', standard for end-to-end delay approximation in queueing
+// networks — the end-to-end delay is the sum of independent per-queue delays,
+// so its distribution is the convolution
+//
+//	L ~ L_unacked^local ⊛ L_unread^local ⊛ L_unread^remote  (− ack-delay shift)
+//
+// evaluated on the fixed qstate.DelayHist bucket grid. The remote ack-delay
+// term is a *subtraction* in the mean formula; a distributional deconvolution
+// is ill-posed, so the composition shifts the composed quantiles down by the
+// remote ack-delay's mean — with a point-mass ack-delay distribution this is
+// exact, and the mean formula is recovered exactly when every queue's
+// distribution is a point mass (the degenerate case, pinned by tests).
+//
+// Both endpoint perspectives are composed and the per-quantile maximum taken,
+// mirroring EstimateE2E's "account for possible underestimations". When
+// either side's histograms are absent (a v1 peer) or reordered, the tail
+// estimate *abstains* (Valid=false) while the mean estimate proceeds — SLO
+// policies treat an abstaining tail like a degraded tick.
+
+package core
+
+import (
+	"time"
+
+	"e2ebatch/internal/qstate"
+)
+
+// TailQuantiles lists the canonical quantiles a TailEstimate carries, in
+// field order P50, P90, P99, P999.
+var TailQuantiles = [4]float64{0.50, 0.90, 0.99, 0.999}
+
+// TailEstimate is the composed end-to-end delay quantile estimate over one
+// interval. Quantized to the qstate.DelayHist bucket grid: each value is a
+// bucket midpoint (within 12.5% of the true bucket value).
+type TailEstimate struct {
+	P50, P90, P99, P999 time.Duration
+	// Valid reports whether at least one perspective could be composed.
+	// False means the estimator abstained: no tail histograms were
+	// exchanged (v1 peer), the deltas were reordered, or the interval saw
+	// no departures.
+	Valid bool
+}
+
+// Quantile maps q onto the nearest canonical tail field: q ≤ 0.5 → P50,
+// ≤ 0.9 → P90, ≤ 0.99 → P99, above → P999.
+//
+//e2e:hotpath
+func (t TailEstimate) Quantile(q float64) time.Duration {
+	switch {
+	case q <= 0.50:
+		return t.P50
+	case q <= 0.90:
+		return t.P90
+	case q <= 0.99:
+		return t.P99
+	default:
+		return t.P999
+	}
+}
+
+// DelayDist is one queue's delay distribution over an interval: normalized
+// probability mass per qstate delay bucket. N is the number of departures
+// the mass was estimated from; N == 0 is the empty distribution (an idle
+// queue composes as zero added delay).
+type DelayDist struct {
+	P [qstate.DelayBuckets]float64
+	N uint64
+}
+
+// DistBetween subtracts two successive cumulative delay histograms of one
+// queue into the interval's normalized distribution. ok=false flags
+// reordered snapshots (a bucket moved backwards), mirroring WireAvgs.
+//
+//e2e:hotpath
+func DistBetween(prev, now *qstate.DelayHist) (DelayDist, bool) {
+	var d DelayDist
+	delta, total, ok := qstate.DelayDeltas(prev, now)
+	if !ok {
+		return DelayDist{}, false
+	}
+	d.N = total
+	if total == 0 {
+		return d, true
+	}
+	inv := 1 / float64(total)
+	for i := range d.P {
+		if delta.Counts[i] != 0 {
+			d.P[i] = float64(delta.Counts[i]) * inv
+		}
+	}
+	return d, true
+}
+
+// TailDists bundles one endpoint's three per-queue interval distributions.
+type TailDists struct {
+	Unacked  DelayDist
+	Unread   DelayDist
+	AckDelay DelayDist
+}
+
+// TailDistsBetween computes all three queue distributions between two
+// successive tail snapshots of the same endpoint.
+//
+//e2e:hotpath
+func TailDistsBetween(prev, now *qstate.WireTails) (TailDists, bool) {
+	var t TailDists
+	var ok bool
+	if t.Unacked, ok = DistBetween(&prev.Unacked, &now.Unacked); !ok {
+		return TailDists{}, false
+	}
+	if t.Unread, ok = DistBetween(&prev.Unread, &now.Unread); !ok {
+		return TailDists{}, false
+	}
+	if t.AckDelay, ok = DistBetween(&prev.AckDelay, &now.AckDelay); !ok {
+		return TailDists{}, false
+	}
+	return t, true
+}
+
+// sumBucket[i][j] is the bucket of DelayBucketMid(i) + DelayBucketMid(j):
+// the convolution's re-bucketing rule, precomputed once. Because midpoints
+// are positive and buckets tile monotonically, sumBucket[i][j] >= max(i, j)
+// — which is what makes composed quantiles dominate per-stage quantiles.
+var sumBucket [qstate.DelayBuckets][qstate.DelayBuckets]uint8
+
+func init() {
+	for i := 0; i < qstate.DelayBuckets; i++ {
+		for j := 0; j < qstate.DelayBuckets; j++ {
+			sumBucket[i][j] = uint8(qstate.DelayBucket(qstate.DelayBucketMid(i) + qstate.DelayBucketMid(j)))
+		}
+	}
+}
+
+// convolveInto replaces acc with acc ⊛ b on the bucket grid. An empty b is
+// the identity (no added delay).
+//
+//e2e:hotpath
+func convolveInto(acc *DelayDist, b *DelayDist) {
+	if b.N == 0 {
+		return
+	}
+	var out [qstate.DelayBuckets]float64
+	for i := range acc.P {
+		pi := acc.P[i]
+		if pi == 0 {
+			continue
+		}
+		row := &sumBucket[i]
+		for j := range b.P {
+			if pj := b.P[j]; pj != 0 {
+				out[row[j]] += pi * pj
+			}
+		}
+	}
+	acc.P = out
+}
+
+// distQuantile returns the q-quantile of d as a bucket midpoint: the first
+// bucket whose cumulative mass reaches q. Mass sums to 1 up to float error;
+// the last populated bucket backstops q ≈ 1.
+//
+//e2e:hotpath
+func distQuantile(d *DelayDist, q float64) time.Duration {
+	var cum float64
+	last := 0
+	for i := range d.P {
+		if d.P[i] == 0 {
+			continue
+		}
+		cum += d.P[i]
+		last = i
+		if cum >= q {
+			return qstate.DelayBucketMid(i)
+		}
+	}
+	return qstate.DelayBucketMid(last)
+}
+
+// composeView convolves one perspective's three queue distributions
+// (local unacked ⊛ local unread ⊛ remote unread) and reads off the canonical
+// quantiles, shifted down by the remote ack-delay mean and clamped at zero.
+// Like viewLatency, the unacked distribution must be populated — it carries
+// the network round trip; empty unread distributions contribute zero delay.
+//
+//e2e:hotpath
+func composeView(ua, urLocal, urRemote *DelayDist, ackMean time.Duration) (TailEstimate, bool) {
+	if ua.N == 0 {
+		return TailEstimate{}, false
+	}
+	acc := *ua
+	convolveInto(&acc, urLocal)
+	convolveInto(&acc, urRemote)
+	var t TailEstimate
+	t.P50 = shiftClamp(distQuantile(&acc, TailQuantiles[0]), ackMean)
+	t.P90 = shiftClamp(distQuantile(&acc, TailQuantiles[1]), ackMean)
+	t.P99 = shiftClamp(distQuantile(&acc, TailQuantiles[2]), ackMean)
+	t.P999 = shiftClamp(distQuantile(&acc, TailQuantiles[3]), ackMean)
+	t.Valid = true
+	return t, true
+}
+
+//e2e:hotpath
+func shiftClamp(v, shift time.Duration) time.Duration {
+	v -= shift
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ComposeTail combines both endpoints' interval distributions into the
+// end-to-end tail estimate: each perspective composes its own view, and the
+// result takes the per-quantile maximum over the valid views, mirroring
+// EstimateE2E. localD/remoteD supply the ack-delay means for the shift (an
+// invalid ack-delay average shifts by zero, exactly like viewLatency skips
+// the term).
+//
+//e2e:hotpath
+func ComposeTail(local, remote *TailDists, localD, remoteD Delays) TailEstimate {
+	var lAck, rAck time.Duration
+	if remoteD.AckDelay.Valid {
+		rAck = remoteD.AckDelay.Latency
+	}
+	if localD.AckDelay.Valid {
+		lAck = localD.AckDelay.Latency
+	}
+	lv, lok := composeView(&local.Unacked, &local.Unread, &remote.Unread, rAck)
+	rv, rok := composeView(&remote.Unacked, &remote.Unread, &local.Unread, lAck)
+	switch {
+	case lok && rok:
+		return TailEstimate{
+			P50:   maxDur(lv.P50, rv.P50),
+			P90:   maxDur(lv.P90, rv.P90),
+			P99:   maxDur(lv.P99, rv.P99),
+			P999:  maxDur(lv.P999, rv.P999),
+			Valid: true,
+		}
+	case lok:
+		return lv
+	case rok:
+		return rv
+	default:
+		return TailEstimate{}
+	}
+}
+
+//e2e:hotpath
+func maxDur(a, b time.Duration) time.Duration {
+	if b > a {
+		return b
+	}
+	return a
+}

@@ -103,6 +103,16 @@ type Config struct {
 	CorkOnBytes int
 	// MaxRemoteAge bounds peer-metadata staleness (core.Estimator).
 	MaxRemoteAge time.Duration
+	// TailQuantile, when nonzero, drives the policy with the composed tail
+	// estimate's quantile (e.g. 0.99 for "p99 ≤ D_max" with a
+	// policy.QuantileUnderSLO objective) instead of the mean latency. Ticks
+	// whose mean estimate is valid but whose tail estimate abstained — a v1
+	// peer without delay histograms, reordered deltas — are routed down the
+	// degraded path exactly like missing peer metadata: a tail SLO cannot
+	// be enforced on a tail nobody can see, so the controller retreats to
+	// its safe mode rather than deciding blind. Must lie in (0, 1); the
+	// canonical points are core.TailQuantiles.
+	TailQuantile float64
 	// ModeErrorLimit, when positive, is how many consecutive ticks with a
 	// failing Apply the endpoint tolerates before treating ticks as
 	// degraded — routing the controller to ObserveDegraded and thus, per
@@ -126,8 +136,14 @@ type TickResult struct {
 	Estimate core.Estimate
 	PerPort  []core.Estimate
 	// Degraded reports the tick was routed down the degraded path
-	// (untrusted estimate or repeated mode-application failures).
+	// (untrusted estimate, repeated mode-application failures, or — in
+	// tail-targeting mode — an abstaining tail estimate).
 	Degraded bool
+	// TailAbstained reports that Config.TailQuantile demanded a tail but
+	// the estimate carried none despite a valid mean — the tick was then
+	// routed degraded. Surfaced separately so telemetry can distinguish
+	// "peer gone" from "peer speaks v1 / tail unobservable".
+	TailAbstained bool
 	// Mode and Applied describe the decision: Applied is false for
 	// passive endpoints and for AIMD ticks skipped on invalid estimates.
 	Mode    policy.Mode
@@ -153,6 +169,9 @@ type Stats struct {
 	TotalTicks    int
 	OnTicks       int
 	DegradedTicks int
+	// TailAbstainedTicks counts the DegradedTicks subset caused by a
+	// tail-targeting config meeting a valid mean but no composed tail.
+	TailAbstainedTicks int
 	// ValidEstimates counts ticks whose estimate was valid.
 	ValidEstimates int
 	// ModeErrors counts individual Apply failures.
@@ -187,6 +206,9 @@ func New(cfg Config, ports ...Port) *Endpoint {
 	}
 	if cfg.Controller != nil && cfg.AIMD != nil {
 		panic("engine: Controller and AIMD are mutually exclusive")
+	}
+	if cfg.TailQuantile != 0 && (cfg.TailQuantile <= 0 || cfg.TailQuantile >= 1) {
+		panic("engine: TailQuantile must lie in (0, 1)")
 	}
 	ep := &Endpoint{
 		cfg:     cfg,
@@ -241,6 +263,20 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 	}
 	r.Degraded = r.Estimate.Degraded ||
 		(ep.cfg.ModeErrorLimit > 0 && ep.modeErrRun >= ep.cfg.ModeErrorLimit)
+	tailMode := ep.cfg.TailQuantile > 0
+	if tailMode && r.Estimate.Valid && !r.Estimate.Tail.Valid {
+		// A tail SLO with no tail to check: treat exactly like degraded
+		// peer metadata (the controller's ObserveDegraded path).
+		r.TailAbstained = true
+		r.Degraded = true
+		ep.stats.TailAbstainedTicks++
+	}
+	// lat is what the policy observes: the mean estimate, or — in
+	// tail-targeting mode — the configured quantile of the composed tail.
+	lat := r.Estimate.Latency
+	if tailMode && r.Estimate.Tail.Valid {
+		lat = r.Estimate.Tail.Quantile(ep.cfg.TailQuantile)
+	}
 
 	switch {
 	case ep.cfg.Controller != nil:
@@ -249,7 +285,7 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 			ep.stats.DegradedTicks++
 			m = ep.cfg.Controller.ObserveDegraded()
 		} else {
-			m = ep.cfg.Controller.Observe(r.Estimate.Latency, r.Estimate.Throughput, r.Estimate.Valid)
+			m = ep.cfg.Controller.Observe(lat, r.Estimate.Throughput, r.Estimate.Valid)
 		}
 		r.ApplyErrors = ep.apply(ep.decisionFor(m))
 		r.Mode, r.Applied = m, true
@@ -257,9 +293,14 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 			ep.stats.OnTicks++
 		}
 	case ep.cfg.AIMD != nil:
-		if r.Estimate.Valid {
+		ok := r.Estimate.Valid
+		if tailMode {
+			// AIMD must not grow or decay on a tail it cannot see.
+			ok = ok && r.Estimate.Tail.Valid
+		}
+		if ok {
 			a := ep.cfg.AIMD
-			limit := a.Ctl.Observe(r.Estimate.Latency > a.SLO)
+			limit := a.Ctl.Observe(lat > a.SLO)
 			batch := !a.Ctl.AtFloor()
 			r.ApplyErrors = ep.apply(Decision{Batch: batch, CorkBytes: limit})
 			r.Applied = true

@@ -31,6 +31,16 @@ type DynamicSpec struct {
 	// estimator degrades to the local-only view (core.Estimator). Zero
 	// disables the staleness check.
 	MaxRemoteAge time.Duration
+	// TailQuantile, when nonzero, drives the controller with the composed
+	// tail estimate's quantile instead of the mean (engine.Config) — the
+	// "p99 ≤ D_max" policy. It also upgrades the metadata exchange to v2
+	// frames so the tails exist to compose.
+	TailQuantile float64
+	// TailsV1Peer, with TailQuantile set, keeps the exchange at v1 (bare
+	// counters, no histograms): the chaos scenario where the policy demands
+	// a tail the wire never delivers, so every tick abstains and the
+	// controller must retreat to its safe mode.
+	TailsV1Peer bool
 }
 
 // DefaultDynamicSpec returns the toggling setup used by the experiments: a
@@ -116,6 +126,12 @@ type RunSpec struct {
 	// exchange-frequency ablation.
 	OnlineEstimateEvery time.Duration
 
+	// TailCapture enables v2 (histogram-carrying) exchanges and captures
+	// the cumulative per-queue delay histograms of both endpoints at warmup
+	// and at the end of the run, composing them offline into RunOut.TailEst
+	// — the tail analogue of the steady-state mean estimate in Est.
+	TailCapture bool
+
 	// Faults schedules a fault-injection plan against the run (package
 	// faults). Loss windows force an RTO, exactly as LossProb does.
 	Faults *faults.Plan
@@ -128,6 +144,9 @@ type RunOut struct {
 
 	// Est holds the steady-state offline estimate per unit mode.
 	Est [tcpsim.NumUnits]core.Estimate
+	// TailEst is the composed end-to-end tail estimate over the same
+	// steady-state window, byte units (valid only for TailCapture runs).
+	TailEst core.TailEstimate
 	// HintAvgs is the hint-tracker estimate (valid when WithHints).
 	HintAvgs qstate.Avgs
 
@@ -153,6 +172,9 @@ type RunOut struct {
 	// without usable peer metadata; TotalTicks is all decision ticks.
 	DegradedTicks int
 	TotalTicks    int
+	// TailAbstainedTicks counts the DegradedTicks subset where a
+	// tail-targeting policy met a valid mean but no composed tail.
+	TailAbstainedTicks int
 }
 
 // Run executes one experiment run and returns its outputs.
@@ -197,6 +219,9 @@ func Run(spec RunSpec) *RunOut {
 	}
 	if spec.ExchangeInterval > 0 {
 		tcpCfg.ExchangeInterval = spec.ExchangeInterval
+	}
+	if spec.TailCapture || (spec.Dynamic != nil && spec.Dynamic.TailQuantile > 0 && !spec.Dynamic.TailsV1Peer) {
+		tcpCfg.ExchangeTails = true
 	}
 	tcpCfg.GRO = spec.GRO
 	cc, sc := tcpsim.Connect(cs, ss, link, tcpCfg)
@@ -265,6 +290,7 @@ func Run(spec RunSpec) *RunOut {
 			Initial:      d.Initial,
 			CorkOnBytes:  cal.CorkOnBytes,
 			MaxRemoteAge: d.MaxRemoteAge,
+			TailQuantile: d.TailQuantile,
 		}, tcpsim.NewEnginePort(cc, sc, d.Unit))
 		dynEp.Start(clock, d.Interval)
 		endpoints = append(endpoints, dynEp)
@@ -297,6 +323,19 @@ func Run(spec RunSpec) *RunOut {
 		endpoints = append(endpoints, aimdEp)
 	}
 
+	// Tail capture: snapshot both endpoints' cumulative delay histograms at
+	// warmup; the end-of-run pair is read after the generator returns. The
+	// composition happens offline (steadyTail), mirroring steadyEstimate.
+	var tailFirst [2]qstate.WireTails
+	var tailCaptured bool
+	if spec.TailCapture {
+		s.At(sim.Time(lcfg.Warmup), func() {
+			tailFirst[0] = cc.LocalTails(tcpsim.UnitBytes)
+			tailFirst[1] = sc.LocalTails(tcpsim.UnitBytes)
+			tailCaptured = true
+		})
+	}
+
 	if spec.Faults != nil {
 		// Plans are validated up front; a bad plan is a spec bug, like an
 		// out-of-range netem config.
@@ -322,6 +361,11 @@ func Run(spec RunSpec) *RunOut {
 	for u := 0; u < tcpsim.NumUnits; u++ {
 		out.Est[u] = steadyEstimate(out.Log, tcpsim.Unit(u), spec.Duration/5)
 	}
+	if tailCaptured {
+		lastC := cc.LocalTails(tcpsim.UnitBytes)
+		lastS := sc.LocalTails(tcpsim.UnitBytes)
+		out.TailEst = steadyTail(out.Log, spec.Duration/5, &tailFirst[0], &lastC, &tailFirst[1], &lastS)
+	}
 	if gen.Hints != nil {
 		out.HintAvgs = hintOverall(gen.Hints)
 	}
@@ -339,6 +383,7 @@ func Run(spec RunSpec) *RunOut {
 		st := dynEp.Stats()
 		out.TotalTicks = st.TotalTicks
 		out.DegradedTicks = st.DegradedTicks
+		out.TailAbstainedTicks = st.TailAbstainedTicks
 		out.OnlineEstimates = st.ValidEstimates
 		out.TogglerStats = tog.Stats()
 		out.FinalMode = tog.Mode()
@@ -368,6 +413,30 @@ func steadyEstimate(l *trace.Log, unit tcpsim.Unit, warmup time.Duration) core.E
 	local = core.DelaysBetween(first.Client[unit], last.Client[unit])
 	remote = core.DelaysBetween(first.Server[unit], last.Server[unit])
 	return core.EstimateE2E(local, remote)
+}
+
+// steadyTail composes the offline end-to-end tail estimate over the
+// post-warmup window: per-queue interval distributions come from the
+// cumulative histograms captured at warmup and at the end, and the
+// ack-delay mean shifts from the same trace window steadyEstimate uses.
+func steadyTail(l *trace.Log, warmup time.Duration, firstC, lastC, firstS, lastS *qstate.WireTails) core.TailEstimate {
+	lt, lok := core.TailDistsBetween(firstC, lastC)
+	rt, rok := core.TailDistsBetween(firstS, lastS)
+	if !lok || !rok {
+		return core.TailEstimate{}
+	}
+	recs := l.Records
+	if len(recs) < 2 {
+		return core.TailEstimate{}
+	}
+	i := 0
+	for i < len(recs)-1 && recs[i].At.Duration() < warmup {
+		i++
+	}
+	first, last := recs[i], recs[len(recs)-1]
+	local := core.DelaysBetween(first.Client[tcpsim.UnitBytes], last.Client[tcpsim.UnitBytes])
+	remote := core.DelaysBetween(first.Server[tcpsim.UnitBytes], last.Server[tcpsim.UnitBytes])
+	return core.ComposeTail(&lt, &rt, local, remote)
 }
 
 // hintOverall reads the tracker's full-run averages.

@@ -1,0 +1,288 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"e2ebatch/internal/analytic"
+	"e2ebatch/internal/core"
+	"e2ebatch/internal/loadgen"
+)
+
+// The tail-fidelity harness extends the model-fidelity discipline from means
+// to quantiles: replay the same workload zoo, take the exact post-warmup
+// per-request latency distribution as ground truth at the four canonical
+// quantiles (p50/p90/p99/p999), and score three rival tail predictors:
+//
+//   - the composed estimator — per-queue delay histograms captured from the
+//     v2 exchange plane, convolved under the Kleinrock independence
+//     approximation (core.ComposeTail);
+//   - the analytic rival — the Gamma two-moment closed form over the tandem
+//     M/G/1 stage sojourns (analytic.E2ETail), fed no measurements;
+//   - the naive byte baseline — the empirical quantile of per-request
+//     serialization time plus propagation (analytic.NaiveByteTail).
+//
+// Hypotheses H6–H8 extend the numbered-claim ledger of fidelity.go; the
+// rendered report is golden-pinned like the mean report.
+
+// tailQuantileNames labels core.TailQuantiles in report order.
+var tailQuantileNames = [4]string{"p50", "p90", "p99", "p999"}
+
+// TailPoint is one workload's tail ground truth and predictions.
+type TailPoint struct {
+	Workload loadgen.ZooWorkload
+	// RateEff is the shape-adjusted mean offered rate.
+	RateEff float64
+	// Truth holds the exact post-warmup latency quantiles at
+	// core.TailQuantiles; Completed counts the samples behind them.
+	Truth     [4]time.Duration
+	Completed uint64
+
+	// Est is the composed tail estimate (RunOut.TailEst); An the analytic
+	// closed form; Naive the byte strawman per quantile.
+	Est   core.TailEstimate
+	An    analytic.TailOut
+	Naive [4]time.Duration
+
+	// Pred, Scored and Err mirror FidelityPoint, with a per-quantile error
+	// vector instead of a scalar.
+	Pred   [NumPredictors][4]time.Duration
+	Scored [NumPredictors]bool
+	Err    [NumPredictors][4]float64
+}
+
+// TailFidelityOut is the full tail-harness result.
+type TailFidelityOut struct {
+	Seed int64
+	Dur  time.Duration
+
+	Points []TailPoint
+	// MeanErrP99 is each predictor's mean p99 error over the workloads it
+	// scored (ScoredN of them); MeanErrAll averages over all four quantiles.
+	MeanErrP99 [NumPredictors]float64
+	MeanErrAll [NumPredictors]float64
+	ScoredN    [NumPredictors]int
+
+	Hypotheses []Hypothesis
+}
+
+// TailFidelity replays the workload zoo with tail capture enabled and scores
+// the tail predictors. Seeds derive exactly as in Fidelity, and tail capture
+// is passive, so each run's traffic is byte-identical to the mean harness's.
+func TailFidelity(cal Calib, dur time.Duration, seed int64) *TailFidelityOut {
+	zoo := loadgen.Zoo(cal.KeySize, cal.ValSize)
+	specs := make([]RunSpec, len(zoo))
+	for i, w := range zoo {
+		wseed := seed + int64(i)*101
+		specs[i] = RunSpec{
+			Calib:        cal,
+			Seed:         wseed,
+			Rate:         w.Rate,
+			RateFn:       w.RateShape,
+			Duration:     dur,
+			BatchOn:      w.BatchOn,
+			Workload:     w.NewMaker(wseed),
+			PreloadKeys:  w.PreloadKeys,
+			SyscallBatch: w.SyscallBatch,
+			WithHints:    w.WithHints,
+			TailCapture:  true,
+		}
+	}
+	outs := runAll(specs)
+
+	res := &TailFidelityOut{Seed: seed, Dur: dur}
+	for i, w := range zoo {
+		res.Points = append(res.Points, scoreTailPoint(cal, w, dur, specs[i].Seed, outs[i]))
+	}
+	for p := Predictor(0); p < NumPredictors; p++ {
+		var sum99, sumAll float64
+		for _, pt := range res.Points {
+			if !pt.Scored[p] {
+				continue
+			}
+			res.ScoredN[p]++
+			sum99 += pt.Err[p][2]
+			for qi := 0; qi < 4; qi++ {
+				sumAll += pt.Err[p][qi]
+			}
+		}
+		if res.ScoredN[p] > 0 {
+			res.MeanErrP99[p] = sum99 / float64(res.ScoredN[p])
+			res.MeanErrAll[p] = sumAll / float64(4*res.ScoredN[p])
+		}
+	}
+	res.Hypotheses = judgeTails(res)
+	return res
+}
+
+// scoreTailPoint derives one workload's tail predictions and errors.
+func scoreTailPoint(cal Calib, w loadgen.ZooWorkload, dur time.Duration, wseed int64, out *RunOut) TailPoint {
+	pt := TailPoint{
+		Workload:  w,
+		RateEff:   w.Rate * loadgen.MeanShape(w.RateShape, dur),
+		Completed: out.Res.Latency.Count(),
+	}
+	for qi, q := range core.TailQuantiles {
+		pt.Truth[qi] = out.Res.Latency.Quantile(q)
+	}
+
+	// Predictor 1: the composed estimator from the captured histograms.
+	pt.Est = out.TailEst
+	if pt.Est.Valid {
+		pt.Pred[PredEstimator] = [4]time.Duration{pt.Est.P50, pt.Est.P90, pt.Est.P99, pt.Est.P999}
+		pt.Scored[PredEstimator] = true
+	}
+
+	// Predictors 2 and 3 see only the workload profile and calibration,
+	// sampled exactly as the mean harness samples them.
+	n := int(pt.RateEff * dur.Seconds())
+	if n < 256 {
+		n = 256
+	}
+	if n > 8192 {
+		n = 8192
+	}
+	req, resp := w.Sizes(wseed, n)
+	pt.An = analytic.E2ETail(e2eParams(cal, w, pt.RateEff, req, resp))
+	if pt.An.Stable {
+		pt.Pred[PredAnalytic] = [4]time.Duration{pt.An.P50, pt.An.P90, pt.An.P99, pt.An.P999}
+		pt.Scored[PredAnalytic] = true
+	}
+
+	reqF, respF := toFloat(req), toFloat(resp)
+	for qi, q := range core.TailQuantiles {
+		pt.Naive[qi] = analytic.NaiveByteTail(reqF, respF, float64(cal.Link.BitsPerSec), 2*cal.Link.Propagation, q)
+	}
+	pt.Pred[PredNaive] = pt.Naive
+	pt.Scored[PredNaive] = true
+
+	for p := Predictor(0); p < NumPredictors; p++ {
+		if !pt.Scored[p] {
+			continue
+		}
+		for qi := 0; qi < 4; qi++ {
+			if pt.Truth[qi] > 0 {
+				pt.Err[p][qi] = math.Abs(float64(pt.Pred[p][qi])-float64(pt.Truth[qi])) / float64(pt.Truth[qi])
+			}
+		}
+	}
+	return pt
+}
+
+// judgeTails computes the tail hypotheses' verdicts. H6 is the acceptance
+// bar: the composed estimator must beat the naive baseline at p99 on every
+// single workload, else the histogram exchange buys nothing over counting
+// bytes.
+func judgeTails(res *TailFidelityOut) []Hypothesis {
+	pts := res.Points
+	verdict := func(ok bool) string {
+		if ok {
+			return "CONFIRMED"
+		}
+		return "REFUTED"
+	}
+	var hs []Hypothesis
+
+	// H6 — per-workload p99 dominance over the strawman.
+	h6, worst := true, ""
+	for i := range pts {
+		if !pts[i].Scored[PredEstimator] || pts[i].Err[PredEstimator][2] > pts[i].Err[PredNaive][2] {
+			h6 = false
+			worst = pts[i].Workload.Name
+		}
+	}
+	ev := "estimator p99 error <= naive p99 error on every workload"
+	if !h6 {
+		ev = fmt.Sprintf("naive baseline beats the estimator at p99 on %q", worst)
+	}
+	hs = append(hs, Hypothesis{
+		ID:      "H6",
+		Claim:   "the composed tail estimator beats the naive byte baseline at p99 on every workload",
+		Verdict: verdict(h6), Evidence: ev,
+	})
+
+	// H7 — absolute accuracy. The bar is looser than the mean's 10%: each
+	// stage contributes a 12.5% bucket-quantization floor, and the
+	// histograms weight residence per byte while the truth weights it per
+	// request, which skews the low quantiles of large-request workloads.
+	h7 := res.ScoredN[PredEstimator] == len(pts) && res.MeanErrP99[PredEstimator] < 0.35
+	hs = append(hs, Hypothesis{
+		ID:      "H7",
+		Claim:   "the composed estimator stays within 35% workload-level mean p99 error across the zoo",
+		Verdict: verdict(h7),
+		Evidence: fmt.Sprintf("mean p99 error %.1f%% over %d/%d workloads scored",
+			100*res.MeanErrP99[PredEstimator], res.ScoredN[PredEstimator], len(pts)),
+	})
+
+	// H8 — the tail analogue of H4: bursts fill the queues the estimator
+	// measures but violate the closed form's Poisson assumption.
+	h8 := true
+	var h8ev string
+	for i := range pts {
+		pt := &pts[i]
+		if !modulated(pt.Workload) {
+			continue
+		}
+		ok := pt.Scored[PredEstimator] &&
+			(!pt.Scored[PredAnalytic] || pt.Err[PredAnalytic][2] > pt.Err[PredEstimator][2])
+		h8 = h8 && ok
+		an := "abstained"
+		if pt.Scored[PredAnalytic] {
+			an = fmt.Sprintf("%.1f%%", 100*pt.Err[PredAnalytic][2])
+		}
+		h8ev += fmt.Sprintf("%s: estimator %.1f%% vs analytic %s; ",
+			pt.Workload.Name, 100*pt.Err[PredEstimator][2], an)
+	}
+	hs = append(hs, Hypothesis{
+		ID:      "H8",
+		Claim:   "modulated arrivals degrade the analytic tail model more than the composed estimator at p99",
+		Verdict: verdict(h8), Evidence: h8ev,
+	})
+	return hs
+}
+
+// WriteTailFidelity renders the tail report: one block of four rows per
+// workload (truth plus each predictor's quantiles and per-quantile errors).
+// Fully deterministic, golden-tested byte-for-byte.
+func WriteTailFidelity(w io.Writer, f *TailFidelityOut) {
+	fmt.Fprintf(w, "TAIL FIDELITY — composed quantiles vs tcpsim ground truth (seed %d, %v runs, warmup %v)\n",
+		f.Seed, f.Dur, f.Dur/5)
+	fmt.Fprintf(w, "%-16s %-10s %10s %10s %10s %10s | %6s %6s %6s %6s\n",
+		"workload", "predictor", tailQuantileNames[0], tailQuantileNames[1],
+		tailQuantileNames[2], tailQuantileNames[3], "e50", "e90", "e99", "e999")
+	for i := range f.Points {
+		pt := &f.Points[i]
+		fmt.Fprintf(w, "%-16s %-10s %10v %10v %10v %10v |\n",
+			pt.Workload.Name, "truth",
+			pt.Truth[0].Round(time.Microsecond), pt.Truth[1].Round(time.Microsecond),
+			pt.Truth[2].Round(time.Microsecond), pt.Truth[3].Round(time.Microsecond))
+		for p := Predictor(0); p < NumPredictors; p++ {
+			if !pt.Scored[p] {
+				fmt.Fprintf(w, "%-16s %-10s %10s %10s %10s %10s |\n", "", p, "-", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%-16s %-10s %10v %10v %10v %10v | %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+				"", p,
+				pt.Pred[p][0].Round(time.Microsecond), pt.Pred[p][1].Round(time.Microsecond),
+				pt.Pred[p][2].Round(time.Microsecond), pt.Pred[p][3].Round(time.Microsecond),
+				100*pt.Err[p][0], 100*pt.Err[p][1], 100*pt.Err[p][2], 100*pt.Err[p][3])
+		}
+	}
+	fmt.Fprintf(w, "p99 mean error:")
+	for p := Predictor(0); p < NumPredictors; p++ {
+		fmt.Fprintf(w, "  %s %.1f%% (%d/%d)", p, 100*f.MeanErrP99[p], f.ScoredN[p], len(f.Points))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "all-quantile mean error:")
+	for p := Predictor(0); p < NumPredictors; p++ {
+		fmt.Fprintf(w, "  %s %.1f%%", p, 100*f.MeanErrAll[p])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "hypotheses:")
+	for _, h := range f.Hypotheses {
+		fmt.Fprintf(w, "  %s %s: %s\n     claim: %s\n     evidence: %s\n",
+			h.ID, verdictMark(h.Verdict), h.Verdict, h.Claim, h.Evidence)
+	}
+}

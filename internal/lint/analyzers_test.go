@@ -1,6 +1,10 @@
 package lint
 
-import "testing"
+import (
+	"testing"
+
+	"e2ebatch/internal/qstate"
+)
 
 func TestDetRandGolden(t *testing.T) {
 	runGolden(t, DetRand, "detrand")
@@ -18,6 +22,15 @@ func TestWallClockGoldenUnrestricted(t *testing.T) {
 
 func TestWireSizeGolden(t *testing.T) {
 	runGolden(t, WireSize, "wiresize")
+}
+
+func TestWireSizeFrameConstMatchesCodec(t *testing.T) {
+	// The analyzer pins the v2 frame size as a local constant (it cannot
+	// import qstate into analyzed source); this guards it against codec
+	// drift.
+	if frameV2Size != qstate.FrameV2Size {
+		t.Fatalf("lint frameV2Size = %d, qstate.FrameV2Size = %d", frameV2Size, qstate.FrameV2Size)
+	}
 }
 
 func TestLockSafetyGolden(t *testing.T) {

@@ -24,3 +24,30 @@ func ignored(buf []byte) (qstate.WireState, error) {
 	//lint:ignore e2elint/wiresize this parser frames payloads upstream
 	return qstate.DecodeWire(buf)
 }
+
+func frameUnchecked(buf []byte) (qstate.WireFrame, error) {
+	return qstate.DecodeFrame(buf) // want "DecodeFrame decodes a prefix"
+}
+
+func frameSubslice(buf []byte) (qstate.WireFrame, error) {
+	return qstate.DecodeFrame(buf[:qstate.FrameV2Size]) // want "DecodeFrame decodes a prefix"
+}
+
+func frameExact(buf []byte) (qstate.WireFrame, error) {
+	return qstate.DecodeFrameExact(buf) // ok: rejects trailing bytes itself
+}
+
+func frameV1Array() (qstate.WireFrame, error) {
+	var buf [qstate.WireSize]byte
+	return qstate.DecodeFrame(buf[:]) // ok: length pinned to one v1 frame
+}
+
+func frameV2Array() (qstate.WireFrame, error) {
+	var buf [qstate.FrameV2Size]byte
+	return qstate.DecodeFrame(buf[:]) // ok: length pinned to one v2 frame
+}
+
+func frameIgnored(buf []byte) (qstate.WireFrame, error) {
+	//lint:ignore e2elint/wiresize this parser frames payloads upstream
+	return qstate.DecodeFrame(buf)
+}

@@ -5,17 +5,19 @@ import (
 	"go/types"
 )
 
-// WireSize steers callers of the 36-byte wire codec to DecodeWireExact.
+// WireSize steers callers of the wire codecs to their Exact variants.
 // DecodeWire accepts any buffer of at least 36 bytes and silently ignores
-// trailing data, which is the right primitive for streaming parsers but a
-// trap on framed transports: a corrupted length field decodes a garbage
-// prefix instead of failing. Any call to DecodeWire outside package qstate
-// is flagged unless the argument is provably exactly WireSize bytes (a full
-// slice of a [WireSize]byte array). Calls through the e2ebatch facade's
-// DecodeWire variable are resolved and flagged the same way.
+// trailing data, and DecodeFrame likewise decodes a valid prefix out of an
+// over-long buffer — the right primitives for streaming parsers but a trap
+// on framed transports: a corrupted length field decodes a garbage prefix
+// instead of failing. Any call to DecodeWire or DecodeFrame outside package
+// qstate is flagged unless the argument is provably exactly one encoding (a
+// full slice of a [WireSize]byte array, or for frames also [FrameV2Size]).
+// Calls through the e2ebatch facade's DecodeWire variable are resolved and
+// flagged the same way.
 var WireSize = &Analyzer{
 	Name: "wiresize",
-	Doc:  "require DecodeWireExact (or a provably exact buffer) for wire-state decoding",
+	Doc:  "require DecodeWireExact/DecodeFrameExact (or a provably exact buffer) for wire-state decoding",
 	Run:  runWireSize,
 }
 
@@ -29,18 +31,31 @@ func runWireSize(p *Pass) {
 			if !ok {
 				return true
 			}
-			if !isDecodeWire(p.TypesInfo, call) {
-				return true
+			switch {
+			case isDecodeWire(p.TypesInfo, call):
+				if len(call.Args) == 1 && exactWireBuf(p.TypesInfo, call.Args[0], 36) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"DecodeWire ignores trailing bytes; use DecodeWireExact on framed payloads (or decode from a [WireSize]byte array)")
+			case isDecodeFrame(p.TypesInfo, call):
+				if len(call.Args) == 1 &&
+					(exactWireBuf(p.TypesInfo, call.Args[0], 36) ||
+						exactWireBuf(p.TypesInfo, call.Args[0], frameV2Size)) {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"DecodeFrame decodes a prefix of over-long buffers; use DecodeFrameExact on framed payloads (or decode from a [WireSize]byte or [FrameV2Size]byte array)")
 			}
-			if len(call.Args) == 1 && exactWireBuf(p.TypesInfo, call.Args[0]) {
-				return true
-			}
-			p.Reportf(call.Pos(),
-				"DecodeWire ignores trailing bytes; use DecodeWireExact on framed payloads (or decode from a [WireSize]byte array)")
 			return true
 		})
 	}
 }
+
+// frameV2Size mirrors qstate.FrameV2Size (version byte + 36-byte WireState +
+// 3 histograms × 66 buckets × 4 bytes). The codec's size test pins the
+// constant; a drift there would surface here as an analyzer test failure.
+const frameV2Size = 1 + 36 + 3*66*4
 
 // isDecodeWire reports whether the call resolves to qstate.DecodeWire,
 // either directly or through a function-typed variable (the facade alias)
@@ -62,9 +77,27 @@ func isDecodeWire(info *types.Info, call *ast.CallExpr) bool {
 	return typeIs(sig.Results().At(0).Type(), qstatePath, "WireState")
 }
 
+// isDecodeFrame reports whether the call resolves to qstate.DecodeFrame,
+// directly or through a function-typed variable with the same name and the
+// frame codec's signature.
+func isDecodeFrame(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Name() != "DecodeFrame" {
+		return false
+	}
+	if objIs(obj, qstatePath, "DecodeFrame") {
+		return true
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	return typeIs(sig.Results().At(0).Type(), qstatePath, "WireFrame")
+}
+
 // exactWireBuf reports whether e is a full slice (or direct use) of a
-// [WireSize]byte array — a buffer whose length the type system pins to 36.
-func exactWireBuf(info *types.Info, e ast.Expr) bool {
+// [size]byte array — a buffer whose length the type system pins exactly.
+func exactWireBuf(info *types.Info, e ast.Expr, size int64) bool {
 	slice, ok := ast.Unparen(e).(*ast.SliceExpr)
 	if !ok || slice.Low != nil || slice.High != nil {
 		return false
@@ -78,5 +111,5 @@ func exactWireBuf(info *types.Info, e ast.Expr) bool {
 			return false
 		}
 	}
-	return arr != nil && arr.Len() == 36
+	return arr != nil && arr.Len() == size
 }

@@ -107,12 +107,25 @@ func (h *Histogram) Max() time.Duration {
 }
 
 // Quantile returns the approximate q-quantile (q in [0,1]) with the
-// histogram's bucket resolution. Out-of-range q is clamped.
+// histogram's bucket resolution.
+//
+// Edge behavior is total and consistent: an empty histogram returns 0 for
+// every q; q <= 0 returns Min exactly; q >= 1 returns Max exactly; NaN is
+// treated like q <= 0 (clamped to Min) rather than poisoning the rank
+// computation. Composition and scoring code may therefore call Quantile
+// unconditionally.
+//
+// Accuracy for interior q: the result is the lower bound of the bucket
+// holding the ceil(q·n)-th smallest sample, clamped into [Min, Max]. With 64
+// sub-buckets per power of two, bucket width is at most 1/64 of the bucket's
+// lower bound, so the returned value v satisfies v <= true quantile <
+// v·(1 + 1/64) — a bounded relative error of under 1.5625% (values below
+// 64 ns are exact, one bucket per nanosecond).
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return h.Min()
 	}
 	if q >= 1 {

@@ -1,0 +1,136 @@
+package metrics
+
+// Property tests for Histogram.Merge: merging is commutative and
+// associative, and merging any partition of a sample stream is
+// indistinguishable from recording the whole stream into one histogram —
+// the property the per-shard aggregation and composed-tail code rely on.
+// All randomness is splitmix64-seeded and deterministic.
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// splitmix64 is the same keyed PRF the workload zoo uses for deterministic
+// randomness; re-derived here so metrics stays dependency-free.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mixSamples derives n deterministic durations spanning the bucket regimes.
+func mixSamples(seed uint64, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		r := splitmix64(seed + uint64(i))
+		switch r % 8 {
+		case 0:
+			out[i] = time.Duration(r % 64)
+		case 1:
+			out[i] = time.Duration(r % uint64(24*time.Hour))
+		default:
+			// Log-uniform over [1µs, ~10s].
+			u := float64(splitmix64(r)%1e9) / 1e9
+			out[i] = time.Duration(math.Exp(u*math.Log(1e7)) * 1e3)
+		}
+	}
+	return out
+}
+
+func recordAll(ds []time.Duration) *Histogram {
+	var h Histogram
+	for _, d := range ds {
+		h.Record(d)
+	}
+	return &h
+}
+
+func TestHistogramMergeCommutative(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		ds := mixSamples(seed, 2000)
+		cut := int(splitmix64(seed*77) % uint64(len(ds)))
+		a1, b1 := recordAll(ds[:cut]), recordAll(ds[cut:])
+		a2, b2 := recordAll(ds[:cut]), recordAll(ds[cut:])
+		a1.Merge(b1) // a ⊕ b
+		b2.Merge(a2) // b ⊕ a
+		if *a1 != *b2 {
+			t.Fatalf("seed %d cut %d: merge is not commutative", seed, cut)
+		}
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	for seed := uint64(11); seed <= 20; seed++ {
+		ds := mixSamples(seed, 3000)
+		c1 := int(splitmix64(seed*31) % uint64(len(ds)/2))
+		c2 := c1 + int(splitmix64(seed*37)%uint64(len(ds)-c1))
+		// (a ⊕ b) ⊕ c
+		left := recordAll(ds[:c1])
+		left.Merge(recordAll(ds[c1:c2]))
+		left.Merge(recordAll(ds[c2:]))
+		// a ⊕ (b ⊕ c)
+		rightBC := recordAll(ds[c1:c2])
+		rightBC.Merge(recordAll(ds[c2:]))
+		right := recordAll(ds[:c1])
+		right.Merge(rightBC)
+		if *left != *right {
+			t.Fatalf("seed %d cuts %d/%d: merge is not associative", seed, c1, c2)
+		}
+	}
+}
+
+func TestHistogramMergePartitionEqualsWhole(t *testing.T) {
+	for seed := uint64(21); seed <= 26; seed++ {
+		ds := mixSamples(seed, 2500)
+		whole := recordAll(ds)
+		parts := 1 + int(splitmix64(seed)%7)
+		merged := &Histogram{}
+		for p := 0; p < parts; p++ {
+			var part Histogram
+			for i, d := range ds {
+				if i%parts == p {
+					part.Record(d)
+				}
+			}
+			merged.Merge(&part)
+		}
+		if *merged != *whole {
+			t.Fatalf("seed %d parts %d: partition merge differs from whole", seed, parts)
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			if merged.Quantile(q) != whole.Quantile(q) {
+				t.Fatalf("seed %d: Quantile(%v) differs after partition merge", seed, q)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeEmptyIdentity(t *testing.T) {
+	ds := mixSamples(99, 500)
+	h := recordAll(ds)
+	want := *h
+	h.Merge(&Histogram{})
+	if *h != want {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	var empty Histogram
+	empty.Merge(h)
+	if empty != want {
+		t.Fatal("merging into an empty histogram is not a copy")
+	}
+}
+
+func TestHistogramQuantileNaNClampsToMin(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("empty Quantile(NaN) = %v, want 0", got)
+	}
+	h.Record(5 * time.Millisecond)
+	h.Record(9 * time.Millisecond)
+	if got := h.Quantile(math.NaN()); got != h.Min() {
+		t.Fatalf("Quantile(NaN) = %v, want Min %v", got, h.Min())
+	}
+}

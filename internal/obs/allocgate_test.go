@@ -48,6 +48,10 @@ func TestAllocGateObserveTick(t *testing.T) {
 		perPort[0] = core.Estimate{
 			Latency: time.Millisecond, LocalView: time.Millisecond, LocalViewValid: true,
 			Throughput: 1000, Valid: true,
+			Tail: core.TailEstimate{
+				P50: time.Millisecond, P90: time.Millisecond,
+				P99: 2 * time.Millisecond, P999: 3 * time.Millisecond, Valid: true,
+			},
 		}
 		o.ObserveTick(now, engine.TickResult{
 			Estimate: perPort[0],

@@ -16,9 +16,11 @@ type EngineMetrics struct {
 	Ticks          *Counter
 	OnTicks        *Counter
 	DegradedTicks  *Counter
+	TailAbstains   *Counter
 	ModeFlips      *Counter
 	ApplyErrors    *Counter
 	ValidEstimates *Counter
+	ValidTails     *Counter
 	RemoteStale    *Counter
 	Explorations   *Counter
 	Switches       *Counter
@@ -26,6 +28,8 @@ type EngineMetrics struct {
 	Records        *Counter
 	StalenessAge   *Gauge
 	Throughput     *Gauge
+	TailP99        *Gauge
+	TailP999       *Gauge
 	EstimateLat    *Latencies
 }
 
@@ -36,9 +40,11 @@ func NewEngineMetrics(reg *Registry, labels ...Label) *EngineMetrics {
 		Ticks:          reg.Counter("e2e_engine_ticks_total", "Engine decision ticks run.", labels...),
 		OnTicks:        reg.Counter("e2e_engine_on_ticks_total", "Ticks whose decision was batch-on.", labels...),
 		DegradedTicks:  reg.Counter("e2e_engine_degraded_ticks_total", "Ticks routed down the degraded path.", labels...),
+		TailAbstains:   reg.Counter("e2e_engine_tail_abstained_ticks_total", "Degraded ticks where a tail-targeting policy met a valid mean but no composed tail.", labels...),
 		ModeFlips:      reg.Counter("e2e_engine_mode_flips_total", "Applied decisions that changed the batching mode.", labels...),
 		ApplyErrors:    reg.Counter("e2e_engine_apply_errors_total", "Per-port mode applications that failed (e.g. SetNoDelay errors).", labels...),
 		ValidEstimates: reg.Counter("e2e_engine_valid_estimates_total", "Ticks whose end-to-end estimate was valid.", labels...),
+		ValidTails:     reg.Counter("e2e_engine_valid_tails_total", "Ticks whose composed tail estimate was valid.", labels...),
 		RemoteStale:    reg.Counter("e2e_estimator_remote_stale_ticks_total", "Ticks degraded because peer metadata aged past MaxRemoteAge.", labels...),
 		Explorations:   reg.Counter("e2e_policy_explorations_total", "Toggler decisions that explored rather than exploited.", labels...),
 		Switches:       reg.Counter("e2e_policy_switches_total", "Toggler mode switches.", labels...),
@@ -46,6 +52,8 @@ func NewEngineMetrics(reg *Registry, labels ...Label) *EngineMetrics {
 		Records:        reg.Counter("e2e_decision_records_total", "Decision records published to the ring.", labels...),
 		StalenessAge:   reg.Gauge("e2e_estimator_staleness_seconds", "Age of the freshest peer metadata at the last tick.", labels...),
 		Throughput:     reg.Gauge("e2e_estimate_throughput_rps", "Throughput component of the last valid estimate.", labels...),
+		TailP99:        reg.Gauge("e2e_estimate_tail_p99_seconds", "p99 of the last valid composed tail estimate.", labels...),
+		TailP999:       reg.Gauge("e2e_estimate_tail_p999_seconds", "p999 of the last valid composed tail estimate.", labels...),
 		EstimateLat:    reg.Latencies("e2e_estimate_latency_seconds", "End-to-end latency estimates, per tick.", labels...),
 	}
 }
@@ -104,6 +112,14 @@ func (o *EngineObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
 		m.EstimateLat.Record(r.Estimate.Latency)
 		m.Throughput.Set(r.Estimate.Throughput)
 	}
+	if r.Estimate.Tail.Valid {
+		m.ValidTails.Inc()
+		m.TailP99.Set(r.Estimate.Tail.P99.Seconds())
+		m.TailP999.Set(r.Estimate.Tail.P999.Seconds())
+	}
+	if r.TailAbstained {
+		m.TailAbstains.Inc()
+	}
 	if r.Estimate.RemoteStale {
 		m.RemoteStale.Inc()
 	}
@@ -161,6 +177,10 @@ func (o *EngineObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
 		Valid:            r.Estimate.Valid,
 		Degraded:         r.Degraded,
 		RemoteStale:      r.Estimate.RemoteStale,
+		TailP99Ns:        int64(r.Estimate.Tail.P99),
+		TailP999Ns:       int64(r.Estimate.Tail.P999),
+		TailValid:        r.Estimate.Tail.Valid,
+		TailAbstained:    r.TailAbstained,
 		Explored:         explored,
 		Mode:             r.Mode.String(),
 		Applied:          r.Applied,

@@ -214,6 +214,115 @@ func TestObserverDegradedAndSafeMode(t *testing.T) {
 	}
 }
 
+// tailObsPort scripts the mean counters at meanLat and (when tails is set)
+// cumulative delay histograms at tailLat, the same drive the engine's tail
+// tests use — here to check the observer surfaces the composed tail.
+type tailObsPort struct {
+	meanLat time.Duration
+	tailLat time.Duration
+	tails   bool
+
+	n     uint32
+	lhist qstate.DelayHist
+	rhist qstate.DelayHist
+}
+
+func (p *tailObsPort) Snapshot(now qstate.Time) core.Sample {
+	p.n += 10
+	n := p.n
+	s := core.Sample{At: now, RemoteOK: true, RemoteAt: now}
+	s.Local.Unacked = qstate.Snapshot{Time: now, Total: int64(n), Integral: int64(n) * int64(p.meanLat)}
+	s.Local.Unread = qstate.Snapshot{Time: now}
+	s.Local.AckDelay = qstate.Snapshot{Time: now}
+	us := uint32(uint64(now) / 1000)
+	s.Remote.Unacked = qstate.WireQueue{TimeUS: us, Total: n, IntegralUS: uint32(uint64(n) * uint64(p.meanLat) / 1000)}
+	s.Remote.Unread = qstate.WireQueue{TimeUS: us}
+	s.Remote.AckDelay = qstate.WireQueue{TimeUS: us}
+	if p.tails {
+		p.lhist.RecordN(p.tailLat, 10)
+		p.rhist.RecordN(p.tailLat, 10)
+		s.LocalTailsOK, s.RemoteTailsOK = true, true
+		s.LocalTails.Unacked = p.lhist
+		s.RemoteTails.Unacked = p.rhist
+	}
+	return s
+}
+
+func (p *tailObsPort) Apply(engine.Decision) error { return nil }
+func (p *tailObsPort) SelfContained() bool         { return false }
+
+// TestObserverTailMetrics drives a tail-targeting endpoint through the
+// observer: with a v2 peer the valid-tail counter and p99/p999 gauges track
+// the composed tail and records carry it; with a v1 peer every post-priming
+// tick surfaces as a tail abstention, in counter and record alike.
+func TestObserverTailMetrics(t *testing.T) {
+	tail := 2 * time.Millisecond
+	run := func(tails bool) (*obs.EngineMetrics, *obs.Ring, *engine.Endpoint) {
+		p := &tailObsPort{meanLat: 200 * time.Microsecond, tailLat: tail, tails: tails}
+		reg := obs.NewRegistry()
+		ring := obs.NewRing(32)
+		em := obs.NewEngineMetrics(reg)
+		ob := obs.NewEngineObserver(em, ring)
+		ep := engine.New(engine.Config{
+			Controller:   constController(policy.BatchOn),
+			Initial:      policy.BatchOn,
+			TailQuantile: 0.99,
+			Observer:     ob,
+		}, p)
+		ep.Tick(0)
+		for i := 1; i <= 4; i++ {
+			ep.Tick(qstate.Time(i) * 100 * ms)
+		}
+		return em, ring, ep
+	}
+
+	em, ring, ep := run(true)
+	if em.ValidTails.Value() != 4 {
+		t.Errorf("valid tails = %d, want 4 (every post-priming tick)", em.ValidTails.Value())
+	}
+	if em.TailAbstains.Value() != 0 {
+		t.Errorf("v2 peer recorded %d abstentions", em.TailAbstains.Value())
+	}
+	// Bucket quantization: the point mass composes within 12.5% of tail.
+	lo, hi := (tail * 7 / 8).Seconds(), (tail * 9 / 8).Seconds()
+	if g := em.TailP99.Value(); g < lo || g > hi {
+		t.Errorf("tail p99 gauge = %v, want ≈ %v", g, tail.Seconds())
+	}
+	if g := em.TailP999.Value(); g < lo || g > hi {
+		t.Errorf("tail p999 gauge = %v, want ≈ %v", g, tail.Seconds())
+	}
+	recs := ring.Last(1)
+	if len(recs) != 1 || !recs[0].TailValid || recs[0].TailAbstained {
+		t.Fatalf("record = %+v, want a valid non-abstained tail", recs)
+	}
+	if ns := recs[0].TailP99Ns; ns < int64(tail*7/8) || ns > int64(tail*9/8) {
+		t.Errorf("record tail p99 = %dns, want ≈ %v", ns, tail)
+	}
+	if ep.Stats().TailAbstainedTicks != 0 {
+		t.Errorf("endpoint counted %d abstentions on a v2 peer", ep.Stats().TailAbstainedTicks)
+	}
+
+	em, ring, ep = run(false)
+	st := ep.Stats()
+	if st.TailAbstainedTicks == 0 {
+		t.Fatal("v1 peer never abstained; the drive is wrong")
+	}
+	if em.TailAbstains.Value() != uint64(st.TailAbstainedTicks) {
+		t.Errorf("abstain counter = %d, endpoint says %d", em.TailAbstains.Value(), st.TailAbstainedTicks)
+	}
+	if em.DegradedTicks.Value() != uint64(st.DegradedTicks) {
+		t.Errorf("degraded counter = %d, endpoint says %d", em.DegradedTicks.Value(), st.DegradedTicks)
+	}
+	if em.ValidTails.Value() != 0 || em.TailP99.Value() != 0 {
+		t.Errorf("v1 peer produced a valid tail (%d) or moved the gauge (%v)",
+			em.ValidTails.Value(), em.TailP99.Value())
+	}
+	recs = ring.Last(1)
+	if len(recs) != 1 || recs[0].TailValid || !recs[0].TailAbstained || !recs[0].Degraded {
+		t.Fatalf("record = %+v, want a degraded tail abstention", recs)
+	}
+}
+
 // TestObserverApplyErrors counts per-port apply failures.
 func TestObserverApplyErrors(t *testing.T) {
 	p := newObsPort()

@@ -70,6 +70,15 @@ type DecisionRecord struct {
 	Degraded         bool    `json:"degraded"`
 	RemoteStale      bool    `json:"remote_stale"`
 
+	// The composed tail estimate (v2 exchanges): quantiles are meaningful
+	// only when TailValid is set; TailAbstained marks ticks a
+	// tail-targeting policy routed degraded because the tail was missing
+	// despite a valid mean (v1 peer, reordered deltas, idle interval).
+	TailP99Ns     int64 `json:"tail_p99_ns,omitempty"`
+	TailP999Ns    int64 `json:"tail_p999_ns,omitempty"`
+	TailValid     bool  `json:"tail_valid"`
+	TailAbstained bool  `json:"tail_abstained,omitempty"`
+
 	// The decision: explore-vs-exploit, the chosen mode, and the apply
 	// outcome.
 	Explored    bool   `json:"explored"`

@@ -65,6 +65,48 @@ func (o ThroughputUnderSLO) Score(l time.Duration, tput float64) float64 {
 // Name identifies the objective.
 func (o ThroughputUnderSLO) Name() string { return fmt.Sprintf("tput-under-%v", o.SLO) }
 
+// QuantileUnderSLO maximizes throughput subject to a *tail* latency SLO:
+// "p99 ≤ D_max" rather than "mean ≤ D_max". The scoring shape is identical
+// to ThroughputUnderSLO's lexicographic ordering — the difference is purely
+// which latency the caller feeds it: the engine, configured with a
+// TailQuantile, passes the composed tail estimate's quantile instead of the
+// mean, and routes ticks whose tail estimate abstained down the degraded
+// path (ObserveDegraded), so a policy driven by this objective retreats to
+// SafeMode whenever the tail it is supposed to bound becomes unobservable.
+type QuantileUnderSLO struct {
+	// Quantile is the targeted quantile, e.g. 0.99. It is carried here for
+	// naming and for engine wiring validation; Score itself is agnostic —
+	// the caller measures the quantile.
+	Quantile float64
+	// SLO is D_max: the bound the quantile must stay under.
+	SLO time.Duration
+}
+
+// Score implements the same lexicographic SLO-then-throughput scalar as
+// ThroughputUnderSLO, applied to a tail quantile observation.
+func (o QuantileUnderSLO) Score(l time.Duration, tput float64) float64 {
+	return ThroughputUnderSLO{SLO: o.SLO}.Score(l, tput)
+}
+
+// Name identifies the objective, e.g. "p99-under-500µs".
+func (o QuantileUnderSLO) Name() string {
+	return fmt.Sprintf("p%s-under-%v", quantileLabel(o.Quantile), o.SLO)
+}
+
+// quantileLabel renders 0.99 → "99", 0.999 → "999", 0.5 → "50".
+func quantileLabel(q float64) string {
+	switch {
+	case q >= 0.999:
+		return "999"
+	case q >= 0.99:
+		return "99"
+	case q >= 0.9:
+		return "90"
+	default:
+		return "50"
+	}
+}
+
 // Mode is a batching mode.
 type Mode int
 

@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuantileUnderSLOScore: identical lexicographic ordering to
+// ThroughputUnderSLO — meeting the tail SLO always beats violating it,
+// throughput breaks ties among the compliant, violation depth orders the
+// rest — applied to whatever quantile the caller measured.
+func TestQuantileUnderSLOScore(t *testing.T) {
+	o := QuantileUnderSLO{Quantile: 0.99, SLO: 500 * time.Microsecond}
+	meetsLow := o.Score(100*time.Microsecond, 1000)
+	meetsHigh := o.Score(499*time.Microsecond, 2000)
+	violates := o.Score(600*time.Microsecond, 1e9)
+	violatesWorse := o.Score(2*time.Millisecond, 1e9)
+	if !(meetsHigh > meetsLow) {
+		t.Fatalf("more throughput under SLO must score higher: %v vs %v", meetsHigh, meetsLow)
+	}
+	if !(meetsLow > violates) {
+		t.Fatalf("any SLO-meeting observation must beat any violation: %v vs %v", meetsLow, violates)
+	}
+	if !(violates > violatesWorse) {
+		t.Fatalf("deeper violation must score lower: %v vs %v", violates, violatesWorse)
+	}
+	// Exact parity with the mean-SLO objective's scalar.
+	ref := ThroughputUnderSLO{SLO: o.SLO}
+	for _, l := range []time.Duration{0, 250 * time.Microsecond, 500 * time.Microsecond, time.Millisecond} {
+		if o.Score(l, 42) != ref.Score(l, 42) {
+			t.Fatalf("score diverges from ThroughputUnderSLO at %v", l)
+		}
+	}
+	// SLO <= 0 degrades to pure throughput, like the mean objective.
+	if free := (QuantileUnderSLO{Quantile: 0.99}); free.Score(time.Hour, 7) != 7 {
+		t.Fatal("zero SLO must score pure throughput")
+	}
+}
+
+func TestQuantileUnderSLOName(t *testing.T) {
+	cases := []struct {
+		q    float64
+		want string
+	}{
+		{0.5, "p50-under-500µs"},
+		{0.9, "p90-under-500µs"},
+		{0.99, "p99-under-500µs"},
+		{0.999, "p999-under-500µs"},
+	}
+	for _, c := range cases {
+		o := QuantileUnderSLO{Quantile: c.q, SLO: 500 * time.Microsecond}
+		if got := o.Name(); got != c.want {
+			t.Fatalf("Name(%v) = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileUnderSLOTogglerRetreat: a toggler driven by the tail objective
+// retreats to SafeMode after DegradedAfter consecutive abstaining ticks —
+// the unit-level half of the "abstaining tail behaves exactly like
+// ObserveDegraded" contract (the engine routing half is covered by the
+// chaos test in figures).
+func TestQuantileUnderSLOTogglerRetreat(t *testing.T) {
+	cfg := DefaultTogglerConfig()
+	cfg.Epsilon = 0 // deterministic: no exploration
+	tg := NewToggler(QuantileUnderSLO{Quantile: 0.99, SLO: 500 * time.Microsecond},
+		cfg, BatchOn, rand.New(rand.NewSource(1)))
+	// Healthy tail observations keep the mode.
+	for i := 0; i < 5; i++ {
+		if m := tg.Observe(300*time.Microsecond, 1000, true); m != BatchOn {
+			t.Fatalf("healthy tick %d switched to %v", i, m)
+		}
+	}
+	// Abstaining tail ticks route to ObserveDegraded; past DegradedAfter the
+	// toggler must be in SafeMode.
+	var m Mode
+	for i := 0; i <= cfg.DegradedAfter+1; i++ {
+		m = tg.ObserveDegraded()
+	}
+	if m != cfg.SafeMode {
+		t.Fatalf("after %d abstaining ticks mode = %v, want SafeMode %v", cfg.DegradedAfter+1, m, cfg.SafeMode)
+	}
+	st := tg.Stats()
+	if st.SafeFallbacks != 1 {
+		t.Fatalf("SafeFallbacks = %d, want 1", st.SafeFallbacks)
+	}
+	// Trustworthy tails returning resets the degraded run.
+	tg.Observe(300*time.Microsecond, 1000, true)
+	if tg.Stats().SafeFallbacks != 1 {
+		t.Fatal("recovery must not add fallbacks")
+	}
+}

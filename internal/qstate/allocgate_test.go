@@ -9,7 +9,10 @@
 
 package qstate
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func allocGate(t *testing.T, name string, f func()) {
 	t.Helper()
@@ -33,4 +36,28 @@ func TestAllocGateTracker(t *testing.T) {
 	})
 	allocGate(t, "Tracker.Peek", func() { _ = tr.Peek() })
 	allocGate(t, "Tracker.Size", func() { _ = tr.Size() })
+}
+
+func TestAllocGateDelayHist(t *testing.T) {
+	var h DelayHist
+	d := time.Duration(0)
+	allocGate(t, "DelayHist.Record", func() {
+		d += 977 * time.Nanosecond
+		h.Record(d)
+	})
+	allocGate(t, "DelayHist.RecordN", func() { h.RecordN(d, 3) })
+	allocGate(t, "DelayBucket", func() { _ = DelayBucket(d) })
+	var prev DelayHist
+	allocGate(t, "DelayDeltas", func() { _, _, _ = DelayDeltas(&prev, &h) })
+}
+
+func TestAllocGateDelayTracker(t *testing.T) {
+	var dt DelayTracker
+	now := Time(0)
+	allocGate(t, "DelayTracker.Track", func() {
+		now += 1000
+		dt.Track(now, 2)
+		now += 1000
+		dt.Track(now, -2)
+	})
 }

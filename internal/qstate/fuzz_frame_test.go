@@ -1,0 +1,172 @@
+//go:build go1.18
+
+package qstate
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randomFrame(rng *rand.Rand, tails bool) WireFrame {
+	f := WireFrame{HasTails: tails}
+	qs := [3]*WireQueue{&f.State.Unacked, &f.State.Unread, &f.State.AckDelay}
+	for _, q := range qs {
+		*q = WireQueue{TimeUS: rng.Uint32(), Total: rng.Uint32(), IntegralUS: rng.Uint32()}
+	}
+	if tails {
+		hs := [3]*DelayHist{&f.Tails.Unacked, &f.Tails.Unread, &f.Tails.AckDelay}
+		for _, h := range hs {
+			for i := range h.Counts {
+				h.Counts[i] = rng.Uint32()
+			}
+		}
+	}
+	return f
+}
+
+// TestFrameRoundTrip: both frame versions encode to their declared size and
+// decode back to themselves via both the loose and the exact decoder.
+func TestFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFrame(rng, trial%2 == 0)
+		var buf [FrameV2Size]byte
+		n, err := EncodeFrame(buf[:], f)
+		if err != nil || n != f.FrameSize() {
+			t.Fatalf("EncodeFrame = %d, %v (want %d)", n, err, f.FrameSize())
+		}
+		got, err := DecodeFrameExact(buf[:n])
+		if err != nil || got != f {
+			t.Fatalf("exact round trip: %+v, %v", got, err)
+		}
+		loose, err := DecodeFrame(buf[:n])
+		if err != nil || loose != f {
+			t.Fatalf("loose round trip: %+v, %v", loose, err)
+		}
+		if app := AppendFrame(nil, f); !bytes.Equal(app, buf[:n]) {
+			t.Fatal("AppendFrame diverged from EncodeFrame")
+		}
+	}
+}
+
+// TestFrameVersionGate: a v1-only 36-byte payload decodes cleanly with
+// HasTails false; a v2-sized payload with a wrong version byte is rejected
+// by the exact decoder; lengths that are neither are ErrFrameSize.
+func TestFrameVersionGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	v1 := randomFrame(rng, false)
+	var buf [FrameV2Size]byte
+	n, _ := EncodeFrame(buf[:], v1)
+	if n != WireSize {
+		t.Fatalf("v1 frame size = %d, want %d", n, WireSize)
+	}
+	got, err := DecodeFrameExact(buf[:n])
+	if err != nil || got.HasTails || got.State != v1.State {
+		t.Fatalf("v1 decode = %+v, %v", got, err)
+	}
+
+	v2 := randomFrame(rng, true)
+	n, _ = EncodeFrame(buf[:], v2)
+	if buf[0] != FrameVersion2 {
+		t.Fatalf("v2 version byte = %d", buf[0])
+	}
+	buf[0] = 9 // a future version we do not speak
+	if _, err := DecodeFrameExact(buf[:n]); !errors.Is(err, ErrFrameVersion) {
+		t.Fatalf("unknown version accepted: %v", err)
+	}
+	if _, err := DecodeFrameExact(buf[:WireSize+1]); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("odd length accepted: %v", err)
+	}
+	if _, err := DecodeFrameExact(nil); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("empty buffer accepted: %v", err)
+	}
+	if n, err := EncodeFrame(buf[:FrameV2Size-1], v2); !errors.Is(err, ErrShortBuffer) || n != 0 {
+		t.Fatalf("short encode buffer accepted: %d, %v", n, err)
+	}
+}
+
+// TestFrameV1InteropWithWireState: the frame encoder emits byte-identical
+// output to the original 36-byte codec for tail-less frames, so a v2 sender
+// talking to a v1 peer is indistinguishable from a v1 sender.
+func TestFrameV1InteropWithWireState(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		f := randomFrame(rng, false)
+		if !bytes.Equal(AppendFrame(nil, f), AppendWire(nil, f.State)) {
+			t.Fatal("v1 frame bytes differ from bare WireState bytes")
+		}
+		ws, err := DecodeWireExact(AppendFrame(nil, f))
+		if err != nil || ws != f.State {
+			t.Fatalf("v1 peer decode: %+v, %v", ws, err)
+		}
+	}
+}
+
+// FuzzFrameDecode: DecodeFrame/DecodeFrameExact must never panic, must agree
+// on exact-length inputs, and whatever DecodeFrame accepts must re-encode to
+// a prefix-compatible frame.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, WireSize))
+	f.Add(make([]byte, FrameV2Size))
+	seeded := AppendFrame(nil, WireFrame{HasTails: true})
+	f.Add(seeded)
+	f.Add(seeded[:len(seeded)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loose, looseErr := DecodeFrame(data)
+		exact, exactErr := DecodeFrameExact(data)
+		switch {
+		case len(data) == WireSize,
+			len(data) == FrameV2Size && data[0] == FrameVersion2:
+			if (looseErr == nil) != (exactErr == nil) {
+				t.Fatalf("decoder disagreement at len %d: %v vs %v", len(data), looseErr, exactErr)
+			}
+			if looseErr == nil && loose != exact {
+				t.Fatal("decoders returned different frames for the same exact buffer")
+			}
+		case len(data) == FrameV2Size:
+			// v2 length, unknown version: exact rejects, loose falls back
+			// to a v1 prefix decode by design.
+			if !errors.Is(exactErr, ErrFrameVersion) {
+				t.Fatalf("v2-length unknown version: %v", exactErr)
+			}
+		default:
+			if exactErr == nil {
+				t.Fatalf("DecodeFrameExact accepted %d bytes", len(data))
+			}
+		}
+		if looseErr != nil {
+			if len(data) >= WireSize {
+				t.Fatalf("DecodeFrame rejected %d bytes: %v", len(data), looseErr)
+			}
+			return
+		}
+		out := AppendFrame(nil, loose)
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatal("re-encode diverged from accepted input prefix")
+		}
+	})
+}
+
+// FuzzDelayBucket: bucket lookup must be total, in range, and monotone in d.
+func FuzzDelayBucket(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(999))
+	f.Add(int64(time.Millisecond))
+	f.Add(int64(time.Hour))
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, d int64) {
+		b := DelayBucket(time.Duration(d))
+		if b < 0 || b >= DelayBuckets {
+			t.Fatalf("bucket %d out of range for %d", b, d)
+		}
+		if d >= 0 && d < int64(time.Hour) {
+			if b2 := DelayBucket(time.Duration(d) + time.Nanosecond); b2 < b {
+				t.Fatalf("bucket not monotone at %d: %d then %d", d, b, b2)
+			}
+		}
+	})
+}

@@ -23,6 +23,10 @@ type segment struct {
 
 	hasState bool
 	state    qstate.WireState
+	// tails is the v2 frame extension (Config.ExchangeTails): the sender's
+	// cumulative per-queue delay histograms, nil on v1 exchanges. A pointer
+	// so v1 segments stay as small as before the extension existed.
+	tails *qstate.WireTails
 }
 
 // Stats counts connection-level events; all fields are cumulative.
@@ -111,6 +115,8 @@ type Conn struct {
 	peerState       qstate.WireState
 	peerStateAt     sim.Time
 	peerStateValid  bool
+	peerTails       qstate.WireTails
+	peerTailsValid  bool
 	onPeerState     func(qstate.WireState)
 	stateFault      func(qstate.WireState) StateFaultAction
 	onReadable      func()
@@ -304,6 +310,20 @@ func (c *Conn) PeerWireState() (qstate.WireState, sim.Time, bool) {
 	return c.peerState, c.peerStateAt, c.peerStateValid
 }
 
+// LocalTails returns the local queues' cumulative delay histograms in unit
+// u. Tracking is always on (it is passive); whether the histograms also ride
+// the exchange is Config.ExchangeTails.
+func (c *Conn) LocalTails(u Unit) qstate.WireTails {
+	return c.instr.WireTails(u)
+}
+
+// PeerTails returns the peer's delay histograms from its most recent
+// tails-carrying (v2) exchange. ok is false until one arrives — in
+// particular, forever, against a v1 peer that never sends them.
+func (c *Conn) PeerTails() (qstate.WireTails, bool) {
+	return c.peerTails, c.peerTailsValid
+}
+
 // RequestExchange forces queue-state metadata onto the next outgoing
 // segment, sending a pure ACK if nothing else is pending — the "on-demand"
 // exchange of §5.
@@ -451,6 +471,10 @@ func (c *Conn) finishSegment(seg *segment) {
 	if c.exchangeDue() {
 		seg.hasState = true
 		seg.state = c.instr.WireState(c.stack.Sim.Now(), c.cfg.ExchangeUnit)
+		if c.cfg.ExchangeTails {
+			tails := c.instr.WireTails(c.cfg.ExchangeUnit)
+			seg.tails = &tails
+		}
 		c.lastExchange = c.stack.Sim.Now()
 		c.exchangedOnce = true
 		c.exchangeForced = false
@@ -546,7 +570,7 @@ func (c *Conn) groPoll() {
 func (c *Conn) deliver(seg *segment) {
 	now := c.stack.Sim.Now()
 	if seg.hasState {
-		c.acceptPeerState(seg.state)
+		c.acceptPeerState(seg.state, seg.tails)
 	}
 	c.processAck(seg.ack, seg.wnd)
 
@@ -618,10 +642,12 @@ func (c *Conn) deliver(seg *segment) {
 }
 
 // acceptPeerState routes an arriving metadata exchange through the fault
-// hook (if any) before applying it.
-func (c *Conn) acceptPeerState(ws qstate.WireState) {
+// hook (if any) before applying it. The tails ride the same frame as the
+// counters, so a dropped, delayed or duplicated exchange drops, delays or
+// duplicates both together.
+func (c *Conn) acceptPeerState(ws qstate.WireState, tails *qstate.WireTails) {
 	if c.stateFault == nil {
-		c.applyPeerState(ws)
+		c.applyPeerState(ws, tails)
 		return
 	}
 	act := c.stateFault(ws)
@@ -631,23 +657,29 @@ func (c *Conn) acceptPeerState(ws qstate.WireState) {
 	}
 	if act.Delay > 0 {
 		c.stats.StatesDelayed++
-		c.stack.Sim.After(act.Delay, func() { c.applyPeerState(ws) })
+		c.stack.Sim.After(act.Delay, func() { c.applyPeerState(ws, tails) })
 	} else {
-		c.applyPeerState(ws)
+		c.applyPeerState(ws, tails)
 	}
 	if act.Duplicate {
 		c.stats.StatesDuped++
-		c.stack.Sim.After(act.Delay+act.DupDelay, func() { c.applyPeerState(ws) })
+		c.stack.Sim.After(act.Delay+act.DupDelay, func() { c.applyPeerState(ws, tails) })
 	}
 }
 
 // applyPeerState records ws as the peer's latest exchange, stamped with the
 // application time (which, under a Delay fault, is later than the wire
-// arrival — exactly what a delayed packet looks like).
-func (c *Conn) applyPeerState(ws qstate.WireState) {
+// arrival — exactly what a delayed packet looks like). A v1 exchange (nil
+// tails) leaves any previously received histograms in place: the estimator
+// then sees zero bucket deltas and abstains on its own.
+func (c *Conn) applyPeerState(ws qstate.WireState, tails *qstate.WireTails) {
 	c.peerState = ws
 	c.peerStateAt = c.stack.Sim.Now()
 	c.peerStateValid = true
+	if tails != nil {
+		c.peerTails = *tails
+		c.peerTailsValid = true
+	}
 	if c.onPeerState != nil {
 		c.onPeerState(ws)
 	}

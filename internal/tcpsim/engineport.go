@@ -33,6 +33,15 @@ func (p *EnginePort) Snapshot(now qstate.Time) core.Sample {
 		s.Remote, s.RemoteOK = ws, true
 		s.RemoteAt = qstate.Time(at)
 	}
+	// Delay tracking is always on locally; the remote histograms exist only
+	// once the peer has sent a v2 (tails-carrying) exchange. Against a v1
+	// peer RemoteTailsOK stays false and the estimator's tail abstains while
+	// the mean proceeds.
+	s.LocalTails = p.local.LocalTails(p.unit)
+	s.LocalTailsOK = true
+	if ts, ok := p.local.PeerTails(); ok {
+		s.RemoteTails, s.RemoteTailsOK = ts, true
+	}
 	return s
 }
 

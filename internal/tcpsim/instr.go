@@ -6,8 +6,14 @@ import (
 )
 
 // queueInstr tracks one logical queue simultaneously in every unit mode.
+// Alongside the paper's four counters it runs a DelayTracker per unit,
+// fed from the very same track() calls: the FIFO cohort attribution turns
+// the arrival/departure stream into the cumulative per-queue delay
+// histograms the tail-estimation plane exchanges. Recording is passive —
+// it never alters protocol behaviour or the mean-path counters.
 type queueInstr struct {
 	states [NumUnits]qstate.State
+	delays [NumUnits]qstate.DelayTracker
 }
 
 func (q *queueInstr) init(now sim.Time) {
@@ -22,6 +28,9 @@ func (q *queueInstr) track(now sim.Time, bytes, packets, sends int64) {
 	q.states[UnitBytes].Track(t, bytes)
 	q.states[UnitPackets].Track(t, packets)
 	q.states[UnitSends].Track(t, sends)
+	q.delays[UnitBytes].Track(t, bytes)
+	q.delays[UnitPackets].Track(t, packets)
+	q.delays[UnitSends].Track(t, sends)
 }
 
 func (q *queueInstr) snapshot(now sim.Time, u Unit) qstate.Snapshot {
@@ -58,6 +67,16 @@ func (in *Instrumentation) WireState(now sim.Time, u Unit) qstate.WireState {
 		Unacked:  qstate.ToWire(ua),
 		Unread:   qstate.ToWire(ur),
 		AckDelay: qstate.ToWire(ad),
+	}
+}
+
+// WireTails bundles the three queues' cumulative delay histograms in the
+// given unit — the payload of a v2 metadata exchange (qstate.EncodeFrame).
+func (in *Instrumentation) WireTails(u Unit) qstate.WireTails {
+	return qstate.WireTails{
+		Unacked:  in.unacked.delays[u].Hist(),
+		Unread:   in.unread.delays[u].Hist(),
+		AckDelay: in.ackdelay.delays[u].Hist(),
 	}
 }
 

@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke cover bench bench-diff fidelity-smoke tail-fidelity-smoke clean
+.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke scale-smoke cover bench bench-diff fidelity-smoke tail-fidelity-smoke clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -17,6 +17,7 @@ GOFMT ?= gofmt
 #          ├─ race ─→ build
 #          ├─ fidelity-smoke ─→ build
 #          ├─ tail-fidelity-smoke ─→ build
+#          ├─ scale-smoke ─→ build (2k-connection shard-engine fleet)
 #          └─ bench-diff ─→ build
 #   cover ──→ build           (slow; run on demand, not part of the gate)
 #
@@ -25,12 +26,12 @@ GOFMT ?= gofmt
 # fuzz-seed and stress tests all still run. fidelity-smoke and bench-diff
 # are both short-run-safe: the smoke replays the zoo at a reduced duration,
 # and bench-diff degrades to a no-op note until two archives exist.
-tier1: vet lint escapes allocgate build test race obs-smoke fidelity-smoke tail-fidelity-smoke bench-diff
+tier1: vet lint escapes allocgate build test race obs-smoke scale-smoke fidelity-smoke tail-fidelity-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
 
-# lint enforces gofmt plus the project's own invariants: the ten e2elint
+# lint enforces gofmt plus the project's own invariants: the eleven e2elint
 # analyzers described in DESIGN.md §8 "Enforced invariants" (the escapes
 # analyzer runs under its own target below — it needs the compiler).
 # Suppressions require a justified `//lint:ignore e2elint/<name> reason`
@@ -69,6 +70,16 @@ race: build
 # uncached for a fast standalone check.
 obs-smoke: build
 	$(GO) test -count=1 -run TestObsSmokeKvserver -v .
+
+# scale-smoke exercises the shared-nothing shard engine at fleet scale: a
+# 2000-connection kvload-shaped fleet against an in-process kvserver, every
+# connection's control tick and pacing on shard timer wheels, asserting a
+# clean run — zero dial errors, zero lost run-queue work, per-shard rollups
+# consistent with the report, and the goroutine count back at baseline
+# (the per-connection-goroutine regression guard). The same test runs
+# inside `make test`; this target reruns it verbosely and uncached.
+scale-smoke: build
+	$(GO) test -count=1 -run TestScaleSmoke -v .
 
 # cover runs the full suite with statement coverage, prints the per-package
 # summary, and enforces floors on the packages whose edge cases the paper's

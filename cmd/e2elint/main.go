@@ -1,8 +1,8 @@
 // Command e2elint runs e2ebatch's project-specific static analysis suite —
-// the ten analyzers in internal/lint that enforce the concurrency,
-// determinism and hot-path allocation invariants the estimator's correctness
-// and overhead budget depend on (see DESIGN.md "Enforced invariants" and
-// "Hot-path allocation discipline").
+// the eleven analyzers in internal/lint that enforce the concurrency,
+// determinism, shard-scheduling and hot-path allocation invariants the
+// estimator's correctness and overhead budget depend on (see DESIGN.md
+// "Enforced invariants" and "Hot-path allocation discipline").
 //
 // Usage:
 //

@@ -9,10 +9,23 @@
 //	kvload -addr 127.0.0.1:6380 -rate 20000 -dur 10s -toggle
 //	kvload ... -toggle -obs 127.0.0.1:9091   # live control-loop telemetry
 //
-// With -obs, every engine tick lands in /metrics (tick, degraded and
-// mode-flip counters, exploration and safe-mode accounting, estimate and
-// request latency summaries) and the last 1024 decision records are
-// queryable as JSONL at /debug/decisions?n=K while the run is in flight.
+// High-fan-in fleet mode holds tens of thousands of concurrent connections
+// from one process — every connection's control tick, send pacing and
+// reconnect backoff scheduled on shard timer wheels, no goroutine or
+// runtime timer per connection beyond the read loop the netpoller parks:
+//
+//	kvload -addr 127.0.0.1:6380 -conns 50000 -active 5000 -dur 30s -value 64
+//
+// Even-indexed connections run the controlled ε-greedy NODELAY policy off
+// their own estimates; odd-indexed connections keep classic Nagle batching
+// as the baseline. The report compares the two groups' p50/p99/p999. With
+// -obs, per-shard fleet counters and wheel health are live at /metrics.
+//
+// With -obs in single-connection mode, every engine tick lands in /metrics
+// (tick, degraded and mode-flip counters, exploration and safe-mode
+// accounting, estimate and request latency summaries) and the last 1024
+// decision records are queryable as JSONL at /debug/decisions?n=K while the
+// run is in flight.
 package main
 
 import (
@@ -20,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"time"
 
 	"e2ebatch/internal/obs"
@@ -31,7 +45,7 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:6380", "server address")
-		rate    = flag.Float64("rate", 10000, "offered load, requests/second")
+		rate    = flag.Float64("rate", 10000, "offered load, requests/second (per active connection in fleet mode)")
 		dur     = flag.Duration("dur", 5*time.Second, "run duration")
 		valSize = flag.Int("value", 16384, "SET value size in bytes")
 		keySize = flag.Int("key", 16, "key size in bytes")
@@ -40,15 +54,19 @@ func main() {
 		slo     = flag.Duration("slo", 500*time.Microsecond, "latency SLO for the toggling objective")
 		seed    = flag.Int64("seed", 1, "toggler exploration RNG seed; 0 draws one from the wall clock")
 		obsAddr = flag.String("obs", "", "serve /metrics, /debug/decisions, /debug/vars and /debug/pprof on this address for the run (empty: disabled)")
+
+		conns     = flag.Int("conns", 0, "fleet mode: hold this many concurrent connections (0: single-connection mode)")
+		active    = flag.Int("active", 0, "fleet mode: connections sending at -rate (0: conns/10); the rest heartbeat every -idle-every")
+		idleEvery = flag.Duration("idle-every", 5*time.Second, "fleet mode: idle connections' heartbeat period")
+		shards    = flag.Int("shards", 0, "fleet mode: shard count (0: GOMAXPROCS)")
+		ctick     = flag.Duration("ctick", 250*time.Millisecond, "fleet mode: per-connection control tick")
+		wheelTick = flag.Duration("wheeltick", time.Millisecond, "fleet mode: shard timer-wheel granularity")
+		inflight  = flag.Int("maxinflight", 32, "fleet mode: per-connection pipeline bound")
+		readbuf   = flag.Int("readbuf", 4<<10, "fleet mode: per-connection read buffer bytes")
+		srcips    = flag.Int("srcips", 0, "fleet mode: rotate this many 127.0.0.x dial source IPs (0: auto for big loopback fleets, <0: off)")
+		workers   = flag.Int("dialworkers", 128, "fleet mode: concurrent dialers during ramp")
 	)
 	flag.Parse()
-
-	c, err := realtcp.Dial(*addr, 4096)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kvload:", err)
-		os.Exit(1)
-	}
-	defer c.Close()
 
 	key := make([]byte, *keySize)
 	for i := range key {
@@ -58,10 +76,30 @@ func main() {
 	for i := range val {
 		val[i] = 'v'
 	}
+	req := resp.AppendCommand(nil, []byte("SET"), key, val)
+
+	if *conns > 0 {
+		runFleet(fleetFlags{
+			addr: *addr, conns: *conns, active: *active, rate: *rate,
+			idleEvery: *idleEvery, dur: *dur, req: req,
+			shards: *shards, ctick: *ctick, wheelTick: *wheelTick,
+			slo: *slo, seed: *seed, inflight: *inflight, readbuf: *readbuf,
+			srcips: *srcips, workers: *workers, obsAddr: *obsAddr,
+		})
+		return
+	}
+
+	c, err := realtcp.Dial(*addr, 4096)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
 	opts := realtcp.LoadOptions{
 		Rate:     *rate,
 		Duration: *dur,
-		Request:  resp.AppendCommand(nil, []byte("SET"), key, val),
+		Request:  req,
 		Tick:     *tick,
 	}
 	if *toggle {
@@ -109,4 +147,131 @@ func main() {
 		fmt.Printf("toggler: %d decisions, %d switches, %d explorations, final %v\n",
 			rep.Toggler.Decisions, rep.Toggler.Switches, rep.Toggler.Explorations, rep.FinalMode)
 	}
+}
+
+type fleetFlags struct {
+	addr              string
+	conns, active     int
+	rate              float64
+	idleEvery, dur    time.Duration
+	req               []byte
+	shards            int
+	ctick, wheelTick  time.Duration
+	slo               time.Duration
+	seed              int64
+	inflight, readbuf int
+	srcips, workers   int
+	obsAddr           string
+}
+
+func runFleet(ff fleetFlags) {
+	fds, _ := realtcp.RaiseNOFILE(uint64(2*ff.conns + 4096))
+	if fds < uint64(ff.conns)+1024 {
+		fmt.Fprintf(os.Stderr, "kvload: open-file limit %d is tight for %d connections; continuing\n", fds, ff.conns)
+	}
+	f, err := realtcp.NewFleet(realtcp.FleetOptions{
+		Addr:         ff.addr,
+		Conns:        ff.conns,
+		Active:       ff.active,
+		Rate:         ff.rate,
+		IdleEvery:    ff.idleEvery,
+		Duration:     ff.dur,
+		Request:      ff.req,
+		IdleRequest:  resp.Command("PING"),
+		Shards:       ff.shards,
+		WheelTick:    ff.wheelTick,
+		Tick:         ff.ctick,
+		SLO:          ff.slo,
+		Seed:         ff.seed,
+		MaxInflight:  ff.inflight,
+		ReadBufBytes: ff.readbuf,
+		SourceIPs:    ff.srcips,
+		DialWorkers:  ff.workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+
+	if ff.obsAddr != "" {
+		reg := obs.NewRegistry()
+		for i := 0; i < f.Shards(); i++ {
+			i := i
+			l := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+			reg.GaugeFunc("e2e_fleet_sent", "Requests sent per shard.", func() float64 {
+				return float64(f.ShardLive(i).Sent)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_completed", "Responses received per shard.", func() float64 {
+				return float64(f.ShardLive(i).Completed)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_skipped", "Paced sends skipped on a full pipeline, per shard.", func() float64 {
+				return float64(f.ShardLive(i).Skipped)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_dead_conns", "Currently-dead connections per shard.", func() float64 {
+				return float64(f.ShardLive(i).DeadConns)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_wheel_armed", "Armed wheel timers per shard.", func() float64 {
+				return float64(f.ShardLive(i).Wheel.Armed)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_wheel_max_behind", "Worst tick backlog seen per shard.", func() float64 {
+				return float64(f.ShardLive(i).Wheel.MaxBehind)
+			}, l)
+		}
+		reg.GaugeFunc("e2e_fleet_sent_sum", "Requests sent, all shards.", func() float64 {
+			var t uint64
+			for i := 0; i < f.Shards(); i++ {
+				t += f.ShardLive(i).Sent
+			}
+			return float64(t)
+		})
+		debug := obs.NewDebugServer(reg, obs.NewRing(16))
+		a, err := debug.Start(ff.obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: obs:", err)
+			os.Exit(1)
+		}
+		defer debug.Close()
+		fmt.Printf("obs listening on %s\n", a)
+	}
+
+	fmt.Printf("fleet: %d conns (%d active @ %.0f req/s, idle heartbeat %v), %d shards, ctick=%v, nofile=%d\n",
+		ff.conns, fleetActive(ff), ff.rate, ff.idleEvery, f.Shards(), ff.ctick, fds)
+	rep, err := f.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvload:", err)
+		os.Exit(1)
+	}
+
+	us := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	fmt.Printf("\n%-11s %7s %10s %10s %10s %10s\n", "group", "conns", "count", "p50", "p99", "p999")
+	fmt.Printf("%-11s %7d %10d %10s %10s %10s\n", "controlled",
+		rep.Controlled.Conns, rep.Controlled.Count, us(rep.Controlled.P50), us(rep.Controlled.P99), us(rep.Controlled.P999))
+	fmt.Printf("%-11s %7d %10d %10s %10s %10s\n", "nagle",
+		rep.Nagle.Conns, rep.Nagle.Count, us(rep.Nagle.P50), us(rep.Nagle.P99), us(rep.Nagle.P999))
+	fmt.Printf("\nsent=%d completed=%d skipped=%d dialErrors=%d reconnects=%d dead=%d elapsed=%v\n",
+		rep.Sent, rep.Completed, rep.Skipped, rep.DialErrors, rep.Reconnects, rep.DeadConns,
+		rep.Elapsed.Round(time.Millisecond))
+	fmt.Printf("control: ticks=%d degraded=%d validEstimates=%d batchOnFrac=%.2f\n",
+		rep.Controlled.ControlTicks+rep.Nagle.ControlTicks,
+		rep.Controlled.DegradedTicks+rep.Nagle.DegradedTicks,
+		rep.Controlled.ValidEstimates+rep.Nagle.ValidEstimates,
+		rep.Controlled.FinalBatchOnFrac)
+	var fired, services uint64
+	for _, st := range rep.Shards {
+		fired += st.Fired
+		services += st.Services
+	}
+	fmt.Printf("shards: %d, wheelFired=%d services=%d maxBehindTicks=%d finalRunQueue=%d\n",
+		len(rep.Shards), fired, services, rep.MaxBehindTicks, rep.FinalRunQueue)
+}
+
+func fleetActive(ff fleetFlags) int {
+	if ff.active > 0 {
+		return ff.active
+	}
+	a := ff.conns / 10
+	if a < 1 {
+		a = 1
+	}
+	return a
 }

@@ -6,10 +6,13 @@
 //	kvserver -addr :6380            # TCP_NODELAY like real Redis
 //	kvserver -addr :6380 -nagle     # leave Nagle batching enabled
 //	kvserver -addr :6380 -obs :9090 # expose /metrics, /debug/* on :9090
+//	kvserver -addr :6380 -shards 8  # per-shard conn/request accounting
 //
 // With -obs, `curl :9090/metrics` serves the full engine metric schema in
-// Prometheus text format plus the server-side request latency summary, and
-// /debug/pprof is live.
+// Prometheus text format plus the server-side request latency summary and
+// the per-shard connection and request families (connections hash to
+// shards by peer address; the *_sum rollups aggregate the padded atomic
+// cells lock-free at scrape time), and /debug/pprof is live.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"e2ebatch/internal/kv"
@@ -30,12 +34,22 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:6380", "listen address")
 		nagle   = flag.Bool("nagle", false, "keep Nagle's algorithm enabled on accepted connections")
 		obsAddr = flag.String("obs", "", "serve /metrics, /debug/decisions, /debug/vars and /debug/pprof on this address (empty: disabled)")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for per-shard connection/request accounting")
+		connbuf = flag.Int("connbuf", 64<<10, "per-connection buffer size in bytes (high fan-in wants this small)")
+		nofile  = flag.Uint64("nofile", 1<<20, "raise the open-file soft limit toward this before serving")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		*shards = 1
+	}
+	fds, _ := realtcp.RaiseNOFILE(*nofile)
 
 	store := kv.NewStore(func() time.Duration { return time.Duration(time.Now().UnixNano()) })
 	srv := realtcp.NewServer(kv.NewEngine(store))
 	srv.Nagle = *nagle
+	srv.ShardCount = *shards
+	srv.BufBytes = *connbuf
 
 	var debug *obs.DebugServer
 	if *obsAddr != "" {
@@ -46,7 +60,23 @@ func main() {
 		obs.NewEngineMetrics(reg)
 		lat := reg.Latencies("e2e_request_latency_seconds",
 			"Server-side command execution latency.")
-		srv.OnRequest = lat.Record
+		conns := reg.ShardedGauge("e2e_server_conns",
+			"Open connections per accept shard.", *shards)
+		reqs := reg.ShardedCounter("e2e_server_requests_total",
+			"Requests served per accept shard.", *shards)
+		reg.GaugeFunc("e2e_server_conns_sum",
+			"Open connections, all shards.", func() float64 {
+				return float64(conns.Value())
+			})
+		reg.GaugeFunc("e2e_server_requests_sum",
+			"Requests served, all shards.", func() float64 {
+				return float64(reqs.Value())
+			})
+		srv.OnConnShard = func(shard, delta int) { conns.Add(shard, int64(delta)) }
+		srv.OnRequestShard = func(shard int, d time.Duration) {
+			reqs.Inc(shard)
+			lat.Record(d)
+		}
 		debug = obs.NewDebugServer(reg, obs.NewRing(1024))
 		a, err := debug.Start(*obsAddr)
 		if err != nil {
@@ -61,7 +91,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kvserver:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("kvserver listening on %s (nagle=%v)\n", l.Addr(), *nagle)
+	fmt.Printf("kvserver listening on %s (nagle=%v, shards=%d, connbuf=%d, nofile=%d)\n",
+		l.Addr(), *nagle, *shards, *connbuf, fds)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -73,6 +73,24 @@ func TestObsDeterminismGoldenUnrestricted(t *testing.T) {
 	runExpectNone(t, ObsDeterminism, "obsdeterminism")
 }
 
+func TestPerTickerConnGoldenRestricted(t *testing.T) {
+	// The testdata stands in for the real-socket path, where the rule
+	// applies.
+	runGoldenAs(t, PerTickerConn, "pertickerconn", "e2ebatch/internal/realtcp")
+}
+
+func TestPerTickerConnGoldenShardScoped(t *testing.T) {
+	// internal/shard is scoped too: the same patterns must be flagged
+	// there (the driver ticker survives only via its ignore hatch).
+	runGoldenAs(t, PerTickerConn, "pertickerconn", "e2ebatch/internal/shard")
+}
+
+func TestPerTickerConnGoldenUnrestricted(t *testing.T) {
+	// Outside realtcp/shard, runtime timers are out of scope — sim
+	// drivers, figures, and cmd binaries use them freely.
+	runExpectNone(t, PerTickerConn, "pertickerconn_ok")
+}
+
 func TestHotPathGolden(t *testing.T) {
 	runGolden(t, HotPath, "hotpath")
 }

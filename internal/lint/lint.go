@@ -1,10 +1,10 @@
 // Package lint is e2ebatch's project-specific static analysis suite: a
 // small analyzer framework (deliberately shaped after
 // golang.org/x/tools/go/analysis, but built on the standard library alone so
-// the repo stays dependency-free) plus ten analyzers that mechanically
-// enforce the concurrency, determinism, single-control-loop and hot-path
-// allocation invariants the estimator's correctness and overhead budget
-// depend on. The rules themselves live in one file per
+// the repo stays dependency-free) plus eleven analyzers that mechanically
+// enforce the concurrency, determinism, single-control-loop, shard-scheduling
+// and hot-path allocation invariants the estimator's correctness and overhead
+// budget depend on. The rules themselves live in one file per
 // analyzer; DESIGN.md §8 "Enforced invariants" maps each rule to the paper
 // algorithm or PR-1 guarantee it guards, and §13 covers the allocation
 // discipline (hotpath, escapes).
@@ -114,6 +114,7 @@ func Analyzers() []*Analyzer {
 		ObsDeterminism,
 		HotPath,
 		Escapes,
+		PerTickerConn,
 	}
 }
 

@@ -1,0 +1,20 @@
+// Package pertickerconn_ok carries the same timer patterns as the
+// pertickerconn golden package but is loaded under its own (unscoped)
+// import path: outside internal/realtcp and internal/shard the rule stays
+// silent — sim drivers, figures, and cmd binaries use runtime timers
+// freely.
+package pertickerconn_ok
+
+import "time"
+
+func handle(closed chan struct{}) {
+	tk := time.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(time.Second):
+	}
+}

@@ -218,6 +218,12 @@ func writeChild(w io.Writer, f *family, c *child) error {
 	case gaugeFunc:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, c.labels, formatFloat(m.fn()))
 		return err
+	case shardedCounterChild:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, c.labels, m.c.ShardValue(m.shard))
+		return err
+	case shardedGaugeChild:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, c.labels, m.g.ShardValue(m.shard))
+		return err
 	case *Latencies:
 		h := m.Snapshot()
 		for _, q := range summaryQuantiles {
@@ -255,6 +261,10 @@ func (r *Registry) WriteVars(w io.Writer) error {
 				pairs = append(pairs, kv{f.name + c.labels, jsonFloat(m.Value())})
 			case gaugeFunc:
 				pairs = append(pairs, kv{f.name + c.labels, jsonFloat(m.fn())})
+			case shardedCounterChild:
+				pairs = append(pairs, kv{f.name + c.labels, strconv.FormatUint(m.c.ShardValue(m.shard), 10)})
+			case shardedGaugeChild:
+				pairs = append(pairs, kv{f.name + c.labels, strconv.FormatInt(m.g.ShardValue(m.shard), 10)})
 			case *Latencies:
 				h := m.Snapshot()
 				for _, q := range summaryQuantiles {

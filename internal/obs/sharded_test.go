@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestShardedCounterSingleWriterCellsSum(t *testing.T) {
+	c := NewShardedCounter(4)
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(s)
+			}
+			c.Add(s, uint64(s))
+		}(s)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4*1000+0+1+2+3 {
+		t.Fatalf("Value = %d, want %d", got, 4*1000+6)
+	}
+	for s := 0; s < 4; s++ {
+		if got := c.ShardValue(s); got != 1000+uint64(s) {
+			t.Fatalf("ShardValue(%d) = %d", s, got)
+		}
+	}
+}
+
+func TestShardedGaugeAddAndSet(t *testing.T) {
+	g := NewShardedGauge(2)
+	g.Add(0, 5)
+	g.Add(0, -2)
+	g.Set(1, 7)
+	if g.ShardValue(0) != 3 || g.ShardValue(1) != 7 || g.Value() != 10 {
+		t.Fatalf("gauge cells = %d,%d sum %d", g.ShardValue(0), g.ShardValue(1), g.Value())
+	}
+}
+
+func TestShardedCellsArePadded(t *testing.T) {
+	// The whole point of the cells is that adjacent shards' hot words sit
+	// on distinct cache lines.
+	if s := unsafe.Sizeof(shardCell{}); s < 64 {
+		t.Fatalf("shardCell is %d bytes, want >= 64 (cache-line padded)", s)
+	}
+	if s := unsafe.Sizeof(shardGaugeCell{}); s < 64 {
+		t.Fatalf("shardGaugeCell is %d bytes, want >= 64", s)
+	}
+}
+
+func TestRegistryShardedRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.ShardedCounter("e2e_shard_ticks_total", "Ticks per shard.", 3)
+	g := r.ShardedGauge("e2e_shard_conns", "Connections per shard.", 2, Label{"role", "fleet"})
+	r.GaugeFunc("e2e_shard_ticks_sum", "Rolled-up tick total.", func() float64 {
+		return float64(c.Value())
+	})
+	c.Inc(0)
+	c.Add(2, 41)
+	g.Add(0, 9)
+	g.Add(1, -1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`e2e_shard_ticks_total{shard="0"} 1`,
+		`e2e_shard_ticks_total{shard="1"} 0`,
+		`e2e_shard_ticks_total{shard="2"} 41`,
+		`e2e_shard_conns{role="fleet",shard="0"} 9`,
+		`e2e_shard_conns{role="fleet",shard="1"} -1`,
+		`e2e_shard_ticks_sum 42`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+
+	b.Reset()
+	if err := r.WriteVars(&b); err != nil {
+		t.Fatal(err)
+	}
+	vars := b.String()
+	for _, want := range []string{
+		`"e2e_shard_ticks_total{shard=\"2\"}": 41`,
+		`"e2e_shard_conns{role=\"fleet\",shard=\"1\"}": -1`,
+	} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("vars missing %q in:\n%s", want, vars)
+		}
+	}
+}
+
+func TestRegistryShardedReregistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.ShardedCounter("x_total", "x", 2)
+	b := r.ShardedCounter("x_total", "x", 2)
+	if a != b {
+		t.Fatal("re-registration returned a distinct counter")
+	}
+	a.Inc(1)
+	if b.ShardValue(1) != 1 {
+		t.Fatal("re-registered handle does not share cells")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shard-count mismatch did not panic")
+			}
+		}()
+		r.ShardedCounter("x_total", "x", 3)
+	}()
+	ga := r.ShardedGauge("y", "y", 2)
+	if gb := r.ShardedGauge("y", "y", 2); gb != ga {
+		t.Fatal("gauge re-registration returned a distinct gauge")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("gauge shard-count mismatch did not panic")
+			}
+		}()
+		r.ShardedGauge("y", "y", 5)
+	}()
+}

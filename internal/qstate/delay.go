@@ -1,6 +1,7 @@
 package qstate
 
 import (
+	"math"
 	"math/bits"
 	"time"
 )
@@ -113,6 +114,48 @@ func (h *DelayHist) Record(d time.Duration) {
 //e2e:hotpath
 func (h *DelayHist) RecordN(d time.Duration, n uint32) {
 	h.Counts[DelayBucket(d)] += n
+}
+
+// Merge adds other's counts into h bucket-wise (wrapping, like every other
+// accumulation on the wire counters) — the fleet rollup: per-connection
+// histograms recorded independently on their read loops merge into one
+// group distribution at report time.
+func (h *DelayHist) Merge(other *DelayHist) {
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+}
+
+// Quantile returns the q-quantile of the recorded distribution as the
+// holding bucket's midpoint (within 12.5% of the true value away from the
+// under/overflow buckets, like every DelayHist read). q at or below 0
+// reports the first populated bucket, q at or above 1 the last; an empty
+// histogram reports 0.
+func (h *DelayHist) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	last := 0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		last = i
+		cum += uint64(c)
+		if cum >= rank {
+			return DelayBucketMid(i)
+		}
+	}
+	return DelayBucketMid(last)
 }
 
 // Count returns the (wrapped) total number of recorded observations.

@@ -1,0 +1,92 @@
+package qstate
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestDelayHistQuantileEmptyAndEdges(t *testing.T) {
+	var h DelayHist
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", q)
+	}
+	h.Record(3 * time.Microsecond)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != DelayBucketMid(DelayBucket(3*time.Microsecond)) {
+			t.Fatalf("single-sample Quantile(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestDelayHistQuantileWithinBucketResolution(t *testing.T) {
+	// Against a sorted sample oracle: the reported quantile's bucket must
+	// hold the oracle's order statistic, i.e. quantiles are exact up to the
+	// histogram's documented bucket resolution.
+	rng := rand.New(rand.NewSource(7))
+	var h DelayHist
+	samples := make([]time.Duration, 5000)
+	for i := range samples {
+		d := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+		samples[i] = d
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		// The histogram's rank convention: smallest k with CDF(k) ≥ q.
+		rank := int(math.Ceil(q*float64(len(samples)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		if got, want := h.Quantile(q), DelayBucketMid(DelayBucket(exact)); got != want {
+			t.Errorf("Quantile(%v) = %v, want midpoint %v of the bucket holding exact %v", q, got, want, exact)
+		}
+	}
+}
+
+func TestDelayHistQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h DelayHist
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v)=%v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestDelayHistMerge(t *testing.T) {
+	var a, b, both DelayHist
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		d := time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	merged := a
+	merged.Merge(&b)
+	if merged != both {
+		t.Fatal("Merge(a,b) differs from recording the union directly")
+	}
+	if merged.Count() != a.Count()+b.Count() {
+		t.Fatalf("merged count %d != %d + %d", merged.Count(), a.Count(), b.Count())
+	}
+	// Merge is commutative.
+	merged2 := b
+	merged2.Merge(&a)
+	if merged2 != merged {
+		t.Fatal("Merge is not commutative")
+	}
+}

@@ -1,7 +1,6 @@
 package realtcp
 
 import (
-	"sync"
 	"time"
 
 	"e2ebatch/internal/core"
@@ -41,40 +40,11 @@ func (p enginePort) Apply(d engine.Decision) error {
 // round trip, so a sample needs no peer metadata to be trustworthy.
 func (p enginePort) SelfContained() bool { return true }
 
-// WallClock schedules engine ticks from a wall-clock ticker goroutine — the
-// real-time counterpart of engine.SimClock. Now supplies the tick
-// timestamps (typically Client.Elapsed).
-type WallClock struct {
-	Now func() qstate.Time
-}
-
-// Tick fires fn every period on a dedicated goroutine until Stop.
-func (w WallClock) Tick(period time.Duration, fn func(now qstate.Time)) engine.Ticker {
-	t := &wallTicker{stop: make(chan struct{}), done: make(chan struct{})}
-	go func() {
-		defer close(t.done)
-		tk := time.NewTicker(period)
-		defer tk.Stop()
-		for {
-			select {
-			case <-t.stop:
-				return
-			case <-tk.C:
-				fn(w.Now())
-			}
-		}
-	}()
-	return t
-}
-
-type wallTicker struct {
-	stop, done chan struct{}
-	once       sync.Once
-}
-
-// Stop cancels the ticker and waits for the tick goroutine to exit, so
-// everything the ticks wrote happens-before Stop's return.
-func (t *wallTicker) Stop() {
-	t.once.Do(func() { close(t.stop) })
-	<-t.done
-}
+// Engine ticks for real-TCP clients are scheduled on shard timer wheels
+// (shard.Clock), not per-connection ticker goroutines: the old WallClock
+// here spawned one goroutine plus one runtime timer per Endpoint.Start —
+// and leaked both until Stop — which topples long before the 50k-connection
+// target. RunLoad drives a single-shard group internally; the fleet runner
+// (fleet.go) hashes connections across a full group. The pertickerconn
+// analyzer (DESIGN.md §8) keeps per-connection timer state from creeping
+// back into this package.

@@ -1,0 +1,625 @@
+package realtcp
+
+// The fleet runner: the 50k-connection proof for the shared-nothing shard
+// engine (ROADMAP item 1). One process holds Conns concurrent connections
+// to a kvserver, every one of them running the paper's control loop — and
+// not one of them owning a goroutine or a timer. Each connection hashes to
+// a shard; its estimate/decision tick, its send pacing, and its reconnect
+// backoff are all Timers on that shard's wheel, so the steady-state cost
+// per connection is a wheel slot plus the parked read-loop goroutine the
+// Go netpoller already multiplexes for free. Connections split into a
+// controlled half (ε-greedy NODELAY toggling driven by their own hint
+// estimates) and a Nagle baseline half, and per-request latencies record
+// into per-connection DelayHists that merge into the controlled-vs-Nagle
+// p50/p99/p999 comparison at report time.
+
+import (
+	"errors"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/policy"
+	"e2ebatch/internal/qstate"
+	"e2ebatch/internal/shard"
+)
+
+// FleetOptions configures a fleet run. Only Addr, Conns, Duration and
+// Request are required.
+type FleetOptions struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the fleet size. Even indices run the controlled policy,
+	// odd indices the Nagle baseline, so the two groups interleave across
+	// shards and dial order.
+	Conns int
+	// Active is how many connections send at Rate (default Conns/10,
+	// minimum 1); the rest are idle-mostly, sending one heartbeat every
+	// IdleEvery. This is the paper's fleet shape: most connections idle,
+	// a hot subset saturating, every one of them still estimated.
+	Active int
+	// Rate is each active connection's request rate (default 50/s).
+	Rate float64
+	// IdleEvery is the idle connections' heartbeat period (default 5s).
+	IdleEvery time.Duration
+	// Duration is the send window.
+	Duration time.Duration
+	// Request is the wire request active connections send; IdleRequest
+	// (default Request) is the heartbeat.
+	Request     []byte
+	IdleRequest []byte
+	// Shards is the shard count (default GOMAXPROCS); WheelTick the wheel
+	// granularity (default 1ms); Tick each connection's control tick
+	// (default 250ms — coarse, because the whole point is running the
+	// loop on 50k connections within a budgeted control-plane cost).
+	Shards    int
+	WheelTick time.Duration
+	Tick      time.Duration
+	// SLO is the controlled group's toggling objective (default 500µs).
+	SLO time.Duration
+	// Seed derives every controlled connection's exploration RNG via
+	// splitmix64(Seed, index), so runs are reproducible (default 1).
+	Seed int64
+	// MaxInflight bounds each connection's pipeline depth (default 32);
+	// a paced send finding the pipe full is skipped and counted, keeping
+	// the shard loop from ever blocking on a slow connection.
+	MaxInflight int
+	// DialTimeout (default 5s), DialWorkers (default 128) shape the ramp.
+	DialTimeout time.Duration
+	DialWorkers int
+	// ReadBufBytes sizes each connection's read buffer (default 4 KiB —
+	// 64 KiB × 50k would be 3 GB of buffers).
+	ReadBufBytes int
+	// SourceIPs > 0 rotates dial source addresses 127.0.0.{2..2+n-1} to
+	// stretch past single-address ephemeral-port limits; 0 auto-enables
+	// 64 of them for loopback targets beyond 16k connections; negative
+	// disables.
+	SourceIPs int
+	// ReconnectMax bounds redial attempts per connection (default 4);
+	// backoff starts at ReconnectBase (default 100ms) and doubles on the
+	// connection's shard wheel.
+	ReconnectMax  int
+	ReconnectBase time.Duration
+	// DrainTimeout bounds the post-window wait for outstanding responses
+	// (default 5s).
+	DrainTimeout time.Duration
+}
+
+// TailSummary is one group's merged latency distribution.
+type TailSummary struct {
+	Conns            int
+	Count            uint64
+	P50, P99, P999   time.Duration
+	DegradedTicks    uint64
+	ValidEstimates   uint64
+	ControlTicks     uint64
+	ModeErrors       uint64
+	FinalBatchOnFrac float64 // controlled group: fraction ending batch-on
+}
+
+// FleetReport is a completed run's accounting.
+type FleetReport struct {
+	Conns      int
+	DialErrors int
+	Elapsed    time.Duration
+
+	Controlled TailSummary
+	Nagle      TailSummary
+
+	Sent, Completed, Skipped uint64
+	Reconnects, DeadConns    uint64
+
+	// Shards snapshots each shard's wheel/loop counters at teardown;
+	// MaxBehindTicks is their worst tick backlog (0 = every shard kept up).
+	Shards         []shard.Stats
+	MaxBehindTicks int64
+	// FinalRunQueue sums run-queue depth after stop — nonzero means work
+	// was lost, which the scale smoke asserts never happens.
+	FinalRunQueue int
+}
+
+// paddedCell is a cache-line-padded counter cell (one per shard per
+// counter) — the same idiom as obs.ShardedCounter, local so the data path
+// does not couple to the telemetry plane.
+type paddedCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type fleetCounters struct {
+	sent, completed, skipped, reconnects, dead []paddedCell
+}
+
+func newFleetCounters(shards int) fleetCounters {
+	return fleetCounters{
+		sent:       make([]paddedCell, shards),
+		completed:  make([]paddedCell, shards),
+		skipped:    make([]paddedCell, shards),
+		reconnects: make([]paddedCell, shards),
+		dead:       make([]paddedCell, shards),
+	}
+}
+
+func sumCells(cs []paddedCell) uint64 {
+	var t uint64
+	for i := range cs {
+		t += cs[i].v.Load()
+	}
+	return t
+}
+
+// FleetShardLive is one shard's live counters, readable during the run —
+// what kvload's GaugeFuncs roll up into /metrics at scrape time.
+type FleetShardLive struct {
+	Sent, Completed, Skipped uint64
+	Reconnects, DeadConns    uint64
+	Wheel                    shard.Stats
+}
+
+// Fleet is a configured high-fan-in run. Build with NewFleet, execute with
+// Run; the live accessors are safe concurrently with Run.
+type Fleet struct {
+	opts  FleetOptions
+	g     *shard.Group
+	conns []*fleetConn
+	ctrs  fleetCounters
+
+	dialErrs atomic.Int64
+}
+
+// fleetConn is one connection's shard-owned control block. After setup,
+// every field is owned by the connection's shard goroutine, except hist
+// and completed-counting (written by the client's read loop, read after
+// Close) and the atomic fleet counters.
+type fleetConn struct {
+	f          *Fleet
+	idx        int
+	sh         *shard.Shard
+	controlled bool
+	active     bool
+	req        []byte
+	sendEvery  time.Duration
+
+	c   *Client
+	ep  *engine.Endpoint
+	tog *policy.Toggler
+
+	tickT  shard.Timer
+	sendT  shard.Timer
+	reconT shard.Timer
+
+	dead     bool
+	attempts int
+	backoff  time.Duration
+
+	// prior accumulates engine stats across reconnect-driven endpoint
+	// swaps so the report sees the connection's whole history.
+	prior engine.Stats
+
+	hist qstate.DelayHist // written only by the connection's read loop
+}
+
+// NewFleet validates options and fills defaults; dialing happens in Run.
+func NewFleet(opts FleetOptions) (*Fleet, error) {
+	if opts.Addr == "" || opts.Conns <= 0 || opts.Duration <= 0 || len(opts.Request) == 0 {
+		return nil, errors.New("realtcp: fleet needs an address, a connection count, a duration, and a request")
+	}
+	if opts.Active <= 0 {
+		opts.Active = opts.Conns / 10
+		if opts.Active < 1 {
+			opts.Active = 1
+		}
+	}
+	if opts.Active > opts.Conns {
+		opts.Active = opts.Conns
+	}
+	if opts.Rate <= 0 {
+		opts.Rate = 50
+	}
+	if opts.IdleEvery <= 0 {
+		opts.IdleEvery = 5 * time.Second
+	}
+	if len(opts.IdleRequest) == 0 {
+		opts.IdleRequest = opts.Request
+	}
+	if opts.WheelTick <= 0 {
+		opts.WheelTick = time.Millisecond
+	}
+	if opts.Tick <= 0 {
+		opts.Tick = 250 * time.Millisecond
+	}
+	if opts.Tick < opts.WheelTick {
+		opts.Tick = opts.WheelTick
+	}
+	if opts.SLO <= 0 {
+		opts.SLO = 500 * time.Microsecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 32
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.DialWorkers <= 0 {
+		opts.DialWorkers = 128
+	}
+	if opts.ReadBufBytes <= 0 {
+		opts.ReadBufBytes = 4 << 10
+	}
+	if opts.SourceIPs == 0 && opts.Conns > 16000 && len(opts.Addr) >= 4 && opts.Addr[:4] == "127." {
+		opts.SourceIPs = 64
+	}
+	if opts.ReconnectMax <= 0 {
+		opts.ReconnectMax = 4
+	}
+	if opts.ReconnectBase <= 0 {
+		opts.ReconnectBase = 100 * time.Millisecond
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+	g := shard.NewGroup(shard.Config{Shards: opts.Shards, Tick: opts.WheelTick})
+	return &Fleet{
+		opts:  opts,
+		g:     g,
+		conns: make([]*fleetConn, opts.Conns),
+		ctrs:  newFleetCounters(g.Len()),
+	}, nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return f.g.Len() }
+
+// ShardLive returns shard i's live counters (safe during Run: all cells
+// are atomic).
+func (f *Fleet) ShardLive(i int) FleetShardLive {
+	return FleetShardLive{
+		Sent:       f.ctrs.sent[i].v.Load(),
+		Completed:  f.ctrs.completed[i].v.Load(),
+		Skipped:    f.ctrs.skipped[i].v.Load(),
+		Reconnects: f.ctrs.reconnects[i].v.Load(),
+		DeadConns:  f.ctrs.dead[i].v.Load(),
+		Wheel:      f.g.Shard(i).Stats(),
+	}
+}
+
+// splitmix64 derives per-connection seeds from the run seed — the same
+// per-index stream derivation the workload zoo uses, so connection k
+// explores identically run to run regardless of dial order.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// srcAddrFor returns the rotated dial source address for connection idx,
+// or "" for the default.
+func (f *Fleet) srcAddrFor(idx int) string {
+	if f.opts.SourceIPs <= 0 {
+		return ""
+	}
+	return "127.0.0." + strconv.Itoa(2+idx%f.opts.SourceIPs) + ":0"
+}
+
+// dial connects fleetConn idx and builds its endpoint; runs on a dial
+// worker. The returned conn still needs its shard setup Submitted.
+func (f *Fleet) dial(idx int) *fleetConn {
+	o := f.opts
+	fc := &fleetConn{
+		f:          f,
+		idx:        idx,
+		sh:         f.g.Of(shard.HashUint64(uint64(idx))),
+		controlled: idx%2 == 0,
+		active:     idx < o.Active,
+		backoff:    o.ReconnectBase,
+	}
+	if fc.active {
+		fc.req = o.Request
+		fc.sendEvery = time.Duration(float64(time.Second) / o.Rate)
+	} else {
+		fc.req = o.IdleRequest
+		fc.sendEvery = o.IdleEvery
+	}
+	c, err := DialWith(o.Addr, DialOptions{
+		MaxInflight:       o.MaxInflight,
+		DialTimeout:       o.DialTimeout,
+		ReadBufBytes:      o.ReadBufBytes,
+		DiscardLatencyLog: true,
+		LocalAddr:         f.srcAddrFor(idx),
+	})
+	if err != nil {
+		f.dialErrs.Add(1)
+		fc.dead = true
+		f.ctrs.dead[fc.sh.ID()].v.Add(1)
+		return fc
+	}
+	fc.adoptClient(c)
+	return fc
+}
+
+// adoptClient points the control block at a (re)dialed client: latency
+// observer, endpoint, initial mode. Called from a dial worker before the
+// shard setup, or on the shard goroutine at reconnect.
+func (fc *fleetConn) adoptClient(c *Client) {
+	fc.c = c
+	c.ObserveLatencies(fc.onLatency)
+	cfg := engine.Config{ModeErrorLimit: 3}
+	if fc.controlled {
+		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(fc.f.opts.Seed) + uint64(fc.idx)))))
+		fc.tog = policy.NewToggler(policy.ThroughputUnderSLO{SLO: fc.f.opts.SLO},
+			policy.DefaultTogglerConfig(), policy.BatchOff, rng)
+		cfg.Controller = fc.tog
+		cfg.Initial = policy.BatchOff
+	}
+	fc.ep = engine.New(cfg, c.EnginePort())
+	if !fc.controlled {
+		// The baseline group holds classic Nagle batching; its passive
+		// endpoint still estimates every tick but applies nothing.
+		c.SetNoDelay(false)
+	}
+}
+
+// onLatency runs on the connection's read-loop goroutine: one histogram
+// write (single writer per hist) and one atomic cell add.
+func (fc *fleetConn) onLatency(d time.Duration) {
+	fc.hist.Record(d)
+	fc.f.ctrs.completed[fc.sh.ID()].v.Add(1)
+}
+
+// setup arms the connection's wheel timers; runs on the shard goroutine.
+// Phases derive from the connection index so 50k schedules spread across
+// wheel slots instead of thundering on one boundary.
+func (fc *fleetConn) setup() {
+	if fc.dead {
+		return
+	}
+	o := fc.f.opts
+	phase := time.Duration(fc.idx) * 7 * o.WheelTick
+	fc.tickT.Fn = fc.onTick
+	fc.sh.Wheel().ArmPeriodic(&fc.tickT, o.Tick+phase%o.Tick, o.Tick)
+	fc.sendT.Fn = fc.onSend
+	fc.sh.Wheel().ArmPeriodic(&fc.sendT, fc.sendEvery+phase%fc.sendEvery, fc.sendEvery)
+	fc.reconT.Fn = fc.onReconnectDue
+}
+
+// onTick is the shard-callable engine tick: liveness probe, then the
+// estimate→policy loop, straight on the shard goroutine.
+func (fc *fleetConn) onTick(now qstate.Time) {
+	select {
+	case <-fc.c.Done():
+		fc.onDead()
+		return
+	default:
+	}
+	fc.ep.Tick(fc.c.Elapsed())
+}
+
+// onSend paces one request. A full pipeline skips rather than blocks: the
+// shard loop must never wait on one connection's socket.
+func (fc *fleetConn) onSend(now qstate.Time) {
+	if int(fc.c.Outstanding()) >= fc.f.opts.MaxInflight-1 {
+		fc.f.ctrs.skipped[fc.sh.ID()].v.Add(1)
+		return
+	}
+	if err := fc.c.Send(fc.req); err != nil {
+		fc.onDead()
+		return
+	}
+	fc.f.ctrs.sent[fc.sh.ID()].v.Add(1)
+}
+
+// onDead moves a failed connection onto the reconnect path: unschedule its
+// tick/send timers, roll its endpoint stats into the accumulator, and arm
+// the backoff timer on the wheel (no goroutine sleeps anywhere).
+func (fc *fleetConn) onDead() {
+	fc.sh.Wheel().Cancel(&fc.tickT)
+	fc.sh.Wheel().Cancel(&fc.sendT)
+	fc.dead = true
+	fc.prior = addEngineStats(fc.prior, fc.ep.Stats())
+	f := fc.f
+	f.ctrs.dead[fc.sh.ID()].v.Add(1)
+	if fc.attempts >= f.opts.ReconnectMax {
+		return
+	}
+	fc.attempts++
+	fc.sh.Wheel().Arm(&fc.reconT, fc.backoff)
+	fc.backoff *= 2
+}
+
+// onReconnectDue fires on the wheel when the backoff expires; the dial
+// itself is blocking I/O, so it hops to a short-lived goroutine and hands
+// the result back through the shard's run queue.
+func (fc *fleetConn) onReconnectDue(now qstate.Time) {
+	go fc.redial()
+}
+
+// redial closes the dead client (waiting out its read loop), dials anew,
+// and Submits adoption back onto the shard. Runs on its own goroutine; the
+// only fleetConn fields it touches are the ones the shard handed over by
+// scheduling it (the dead connection's client).
+func (fc *fleetConn) redial() {
+	fc.c.Close()
+	o := fc.f.opts
+	c, err := DialWith(o.Addr, DialOptions{
+		MaxInflight:       o.MaxInflight,
+		DialTimeout:       o.DialTimeout,
+		ReadBufBytes:      o.ReadBufBytes,
+		DiscardLatencyLog: true,
+		LocalAddr:         fc.f.srcAddrFor(fc.idx),
+	})
+	ok := fc.sh.Submit(func() {
+		if err != nil {
+			// Re-arm the next backoff, or give up past ReconnectMax.
+			if fc.attempts < o.ReconnectMax {
+				fc.attempts++
+				fc.sh.Wheel().Arm(&fc.reconT, fc.backoff)
+				fc.backoff *= 2
+			}
+			return
+		}
+		fc.adoptClient(c)
+		fc.dead = false
+		fc.f.ctrs.dead[fc.sh.ID()].v.Add(^uint64(0)) // -1: back alive
+		fc.f.ctrs.reconnects[fc.sh.ID()].v.Add(1)
+		fc.setup()
+	})
+	if !ok && err == nil {
+		c.Close() // fleet stopped while we were dialing
+	}
+}
+
+func addEngineStats(a, b engine.Stats) engine.Stats {
+	a.TotalTicks += b.TotalTicks
+	a.OnTicks += b.OnTicks
+	a.DegradedTicks += b.DegradedTicks
+	a.TailAbstainedTicks += b.TailAbstainedTicks
+	a.ValidEstimates += b.ValidEstimates
+	a.ModeErrors += b.ModeErrors
+	return a
+}
+
+// Run executes the fleet: ramp, hold, drain, teardown, report. It blocks
+// for roughly Duration plus ramp and drain.
+func (f *Fleet) Run() (*FleetReport, error) {
+	o := f.opts
+	start := time.Now()
+	f.g.Start()
+
+	// Ramp: dial workers fill f.conns and Submit each connection's timer
+	// setup to its shard. Submit blocks when a shard's queue fills — that
+	// backpressure paces the ramp instead of flooding the loops.
+	var wg sync.WaitGroup
+	next := make(chan int, o.DialWorkers)
+	for w := 0; w < o.DialWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				fc := f.dial(idx)
+				f.conns[idx] = fc
+				if !fc.dead {
+					fc.sh.Submit(fc.setup)
+				}
+			}
+		}()
+	}
+	for i := 0; i < o.Conns; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if int(f.dialErrs.Load()) == o.Conns {
+		f.g.Stop()
+		return nil, errors.New("realtcp: fleet failed to establish any connection")
+	}
+
+	// Hold the send window.
+	time.Sleep(o.Duration)
+
+	// Quiesce: stop the shard loops (no further sends or ticks), then
+	// wait for in-flight responses to land on the read loops.
+	f.g.Stop()
+	drainDeadline := time.Now().Add(o.DrainTimeout)
+	for time.Now().Before(drainDeadline) {
+		pending := int64(0)
+		for _, fc := range f.conns {
+			if fc != nil && fc.c != nil && !fc.dead {
+				pending += fc.c.Outstanding()
+			}
+		}
+		if pending == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Teardown: close every client (waits out its read loop, so the
+	// histograms are safe to merge afterwards), in parallel.
+	closeq := make(chan *Client, o.DialWorkers)
+	var cwg sync.WaitGroup
+	for w := 0; w < o.DialWorkers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for c := range closeq {
+				c.Close()
+			}
+		}()
+	}
+	for _, fc := range f.conns {
+		if fc != nil && fc.c != nil {
+			closeq <- fc.c
+		}
+	}
+	close(closeq)
+	cwg.Wait()
+
+	return f.report(time.Since(start)), nil
+}
+
+// report aggregates after teardown: shard loops stopped and read loops
+// exited, so every fleetConn is safe to read directly.
+func (f *Fleet) report(elapsed time.Duration) *FleetReport {
+	rep := &FleetReport{
+		Conns:      f.opts.Conns,
+		DialErrors: int(f.dialErrs.Load()),
+		Elapsed:    elapsed,
+		Sent:       sumCells(f.ctrs.sent),
+		Completed:  sumCells(f.ctrs.completed),
+		Skipped:    sumCells(f.ctrs.skipped),
+		Reconnects: sumCells(f.ctrs.reconnects),
+		DeadConns:  sumCells(f.ctrs.dead),
+		Shards:     f.g.Stats(),
+	}
+	for _, st := range rep.Shards {
+		if st.MaxBehind > rep.MaxBehindTicks {
+			rep.MaxBehindTicks = st.MaxBehind
+		}
+		rep.FinalRunQueue += st.RunQueue
+	}
+	var ctrlHist, nagleHist qstate.DelayHist
+	batchOn := 0
+	for _, fc := range f.conns {
+		if fc == nil || fc.c == nil {
+			continue
+		}
+		sum := &rep.Nagle
+		if fc.controlled {
+			sum = &rep.Controlled
+		}
+		sum.Conns++
+		st := addEngineStats(fc.prior, fc.ep.Stats())
+		sum.ControlTicks += uint64(st.TotalTicks)
+		sum.DegradedTicks += uint64(st.DegradedTicks)
+		sum.ValidEstimates += uint64(st.ValidEstimates)
+		sum.ModeErrors += uint64(st.ModeErrors)
+		if fc.controlled {
+			ctrlHist.Merge(&fc.hist)
+			if fc.tog.Mode() == policy.BatchOn {
+				batchOn++
+			}
+		} else {
+			nagleHist.Merge(&fc.hist)
+		}
+	}
+	fill := func(sum *TailSummary, h *qstate.DelayHist) {
+		sum.Count = h.Count()
+		sum.P50 = h.Quantile(0.50)
+		sum.P99 = h.Quantile(0.99)
+		sum.P999 = h.Quantile(0.999)
+	}
+	fill(&rep.Controlled, &ctrlHist)
+	fill(&rep.Nagle, &nagleHist)
+	if rep.Controlled.Conns > 0 {
+		rep.Controlled.FinalBatchOnFrac = float64(batchOn) / float64(rep.Controlled.Conns)
+	}
+	return rep
+}

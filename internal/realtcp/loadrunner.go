@@ -7,6 +7,7 @@ import (
 
 	"e2ebatch/internal/engine"
 	"e2ebatch/internal/policy"
+	"e2ebatch/internal/shard"
 )
 
 // LoadOptions configures an open-loop load run over a Client.
@@ -87,8 +88,23 @@ func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 		cfg.Initial = opts.Toggler.Mode()
 	}
 	ep := engine.New(cfg, c.EnginePort())
-	ep.Start(WallClock{Now: c.Elapsed}, tick)
+	// Ticks run on a single-shard wheel group rather than a per-connection
+	// ticker goroutine: the same scheduling substrate the 50k-connection
+	// fleet uses, sized down to one client. The wheel granularity tracks
+	// the tick period (capped at 1 ms) so short test ticks stay precise.
+	wheelTick := time.Millisecond
+	if tick < wheelTick {
+		wheelTick = tick
+	}
+	g := shard.NewGroup(shard.Config{Shards: 1, Tick: wheelTick, Now: c.Elapsed})
+	g.Shard(0).Submit(func() {
+		ep.Start(shard.Clock{S: g.Shard(0)}, tick)
+	})
+	g.Start()
 	finish := func() {
+		// Stop the shard loop first (happens-before for everything the
+		// ticks wrote), then unschedule the endpoint's wheel timer.
+		g.Stop()
 		ep.Stop()
 		st := ep.Stats()
 		rep.Estimates = st.ValidEstimates

@@ -20,6 +20,7 @@ import (
 	"e2ebatch/internal/kv"
 	"e2ebatch/internal/qstate"
 	"e2ebatch/internal/resp"
+	"e2ebatch/internal/shard"
 )
 
 // Server serves the mini-Redis engine over real TCP connections. Command
@@ -46,6 +47,28 @@ type Server struct {
 	// telemetry histogram feed. Set before Serve; it is called from
 	// connection-handler goroutines and must be safe for concurrent use.
 	OnRequest func(time.Duration)
+
+	// ShardCount, when positive, assigns every accepted connection a shard
+	// id by FNV hash of its remote address (shard.HashString mod
+	// ShardCount) and feeds the sharded hooks below — the accept-path half
+	// of the shared-nothing obs rollup. Zero disables sharded accounting
+	// (every hook sees shard 0 if set anyway).
+	ShardCount int
+	// OnConnShard, when non-nil, is called with (+1) when a connection is
+	// accepted and (-1) when its handler exits — per-shard live-connection
+	// gauges. Called from accept/handler goroutines; the obs.ShardedGauge
+	// single-writer-per-cell rule does not apply here, but obs cells are
+	// atomic so concurrent mixed-shard calls are safe.
+	OnConnShard func(shard int, delta int)
+	// OnRequestShard, when non-nil, receives every command's execution
+	// latency attributed to the connection's shard. Independent of
+	// OnRequest; both fire when both are set.
+	OnRequestShard func(shard int, d time.Duration)
+
+	// BufBytes sizes the per-connection read/write buffers (default
+	// 64 KiB). High-fan-in servers size this down: 50k connections at the
+	// default would pin ~9 GB of buffers alone.
+	BufBytes int
 }
 
 // NewServer returns a server around engine.
@@ -86,6 +109,10 @@ func (s *Server) Serve(l net.Listener) error {
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
+		sid := s.shardOf(conn)
+		if s.OnConnShard != nil {
+			s.OnConnShard(sid, +1)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -93,10 +120,21 @@ func (s *Server) Serve(l net.Listener) error {
 				s.connMu.Lock()
 				delete(s.conns, conn)
 				s.connMu.Unlock()
+				if s.OnConnShard != nil {
+					s.OnConnShard(sid, -1)
+				}
 			}()
-			s.handle(conn)
+			s.handle(conn, sid)
 		}()
 	}
+}
+
+// shardOf maps a connection to its shard id by remote-address hash.
+func (s *Server) shardOf(conn net.Conn) int {
+	if s.ShardCount <= 0 {
+		return 0
+	}
+	return int(shard.HashString(conn.RemoteAddr().String()) % uint64(s.ShardCount))
 }
 
 // DropConnections abruptly closes every active connection while continuing
@@ -124,12 +162,16 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, sid int) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
+	bufBytes := s.BufBytes
+	if bufBytes <= 0 {
+		bufBytes = 64 << 10
+	}
+	br := bufio.NewReaderSize(conn, bufBytes)
+	bw := bufio.NewWriterSize(conn, bufBytes)
 	var parser resp.Parser
-	buf := make([]byte, 64<<10)
+	buf := make([]byte, bufBytes)
 	for {
 		// Serve everything already parsed before blocking on the
 		// socket again, so pipelined commands share flushes.
@@ -148,14 +190,21 @@ func (s *Server) handle(conn net.Conn) {
 				break
 			}
 			var begin time.Time
-			if s.OnRequest != nil {
+			timed := s.OnRequest != nil || s.OnRequestShard != nil
+			if timed {
 				begin = time.Now()
 			}
 			s.mu.Lock()
 			reply := s.engine.Execute(cmd)
 			s.mu.Unlock()
-			if s.OnRequest != nil {
-				s.OnRequest(time.Since(begin))
+			if timed {
+				d := time.Since(begin)
+				if s.OnRequest != nil {
+					s.OnRequest(d)
+				}
+				if s.OnRequestShard != nil {
+					s.OnRequestShard(sid, d)
+				}
 			}
 			if _, err := bw.Write(resp.AppendValue(nil, reply)); err != nil {
 				return
@@ -186,6 +235,8 @@ type Client struct {
 	est         *hints.Estimator
 	start       time.Time
 	readTimeout time.Duration
+	readBuf     int
+	dropLats    bool
 
 	mu      sync.Mutex
 	writeMu sync.Mutex
@@ -214,6 +265,19 @@ type DialOptions struct {
 	// Zero blocks indefinitely — correct only against a server that
 	// cannot hang.
 	ReadTimeout time.Duration
+	// ReadBufBytes sizes the read-loop buffer (default 64 KiB). Fleet
+	// clients size this down: per-connection buffers dominate memory at
+	// 50k connections.
+	ReadBufBytes int
+	// DiscardLatencyLog disables the per-request latency accumulation that
+	// Latencies() drains, leaving only the ObserveLatencies live feed —
+	// fleet connections record into fixed-size histograms instead of
+	// unbounded slices.
+	DiscardLatencyLog bool
+	// LocalAddr, when non-empty, is the local address to dial from (e.g.
+	// "127.0.0.5:0"). High-fan-in loopback fleets rotate source IPs here
+	// to stretch past the ~28k ephemeral ports of a single 4-tuple prefix.
+	LocalAddr string
 }
 
 // Dial connects to a mini-Redis server and starts the response reader.
@@ -228,6 +292,13 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		opts.MaxInflight = 1024
 	}
 	d := net.Dialer{Timeout: opts.DialTimeout}
+	if opts.LocalAddr != "" {
+		la, err := net.ResolveTCPAddr("tcp", opts.LocalAddr)
+		if err != nil {
+			return nil, err
+		}
+		d.LocalAddr = la
+	}
 	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -241,6 +312,8 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		conn:        tc,
 		start:       time.Now(),
 		readTimeout: opts.ReadTimeout,
+		readBuf:     opts.ReadBufBytes,
+		dropLats:    opts.DiscardLatencyLog,
 		inflight:    make(chan time.Time, opts.MaxInflight),
 		done:        make(chan struct{}),
 		nodelay:     true, // Go's net package default
@@ -297,25 +370,30 @@ func (c *Client) Send(cmd []byte) error {
 
 // Do issues one request and waits until all currently outstanding responses
 // (including this one) have arrived. It is a convenience for
-// request-by-request usage; load generation uses Send.
+// request-by-request usage; load generation uses Send. The wait is a
+// yielding poll on the caller's goroutine — no timer state per call.
 func (c *Client) Do(cmd []byte) error {
 	if err := c.Send(cmd); err != nil {
 		return err
 	}
-	for {
-		if c.tracker.Outstanding() == 0 {
-			return nil
-		}
+	for c.tracker.Outstanding() > 0 {
 		select {
 		case <-c.done:
 			return c.err()
-		case <-time.After(100 * time.Microsecond):
+		default:
+			time.Sleep(100 * time.Microsecond)
 		}
 	}
+	return nil
 }
 
 // Outstanding returns requests awaiting responses.
 func (c *Client) Outstanding() int64 { return c.tracker.Outstanding() }
+
+// Done returns a channel closed when the client's read loop has exited —
+// failure or Close. Fleet timers poll it non-blockingly to detect dead
+// connections without owning a goroutine per connection.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // ObserveLatencies installs fn to receive every per-request latency as it
 // completes, alongside the drain-style Latencies accumulation — the live
@@ -355,7 +433,11 @@ func (c *Client) err() error {
 func (c *Client) readLoop() {
 	defer close(c.done)
 	var parser resp.Parser
-	buf := make([]byte, 64<<10)
+	bufBytes := c.readBuf
+	if bufBytes <= 0 {
+		bufBytes = 64 << 10
+	}
+	buf := make([]byte, bufBytes)
 	for {
 		if c.readTimeout > 0 {
 			if err := c.conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
@@ -381,7 +463,9 @@ func (c *Client) readLoop() {
 					c.tracker.Complete(1)
 					lat := time.Since(sentAt)
 					c.latMu.Lock()
-					c.lats = append(c.lats, lat)
+					if !c.dropLats {
+						c.lats = append(c.lats, lat)
+					}
 					fn := c.latFn
 					c.latMu.Unlock()
 					if fn != nil {

@@ -1,0 +1,34 @@
+package realtcp
+
+import "syscall"
+
+// RaiseNOFILE lifts the process's open-file soft limit toward target —
+// 50k-connection fleets need 50k descriptors before the dialer gets
+// anywhere near the port range. It raises the hard limit too when the
+// process may (root), otherwise clamps to the existing hard limit, and
+// returns the soft limit actually in force. Best-effort: callers treat the
+// returned limit, not the error, as the capacity signal.
+func RaiseNOFILE(target uint64) (uint64, error) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 0, err
+	}
+	if lim.Cur >= target {
+		return lim.Cur, nil
+	}
+	want := lim
+	want.Cur = target
+	if want.Max < target {
+		want.Max = target
+	}
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err == nil {
+		return want.Cur, nil
+	}
+	// Hard-limit raise refused (not privileged): settle for the ceiling.
+	want = lim
+	want.Cur = lim.Max
+	if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want); err != nil {
+		return lim.Cur, err
+	}
+	return want.Cur, nil
+}

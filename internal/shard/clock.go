@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"time"
+
+	"e2ebatch/internal/engine"
+	"e2ebatch/internal/qstate"
+)
+
+// Clock adapts a shard's timer wheel to engine.Clock — the wheel-backed
+// implementation that replaces realtcp's per-connection ticker goroutines.
+// Ticks arm one periodic wheel Timer; Stop cancels it. Like the wheel, a
+// Clock schedules and cancels only on the shard goroutine (or before
+// Start / after Stop of the group).
+type Clock struct {
+	S *Shard
+	// Phase staggers the first fire: it lands between one and two periods
+	// out, offset by Phase modulo the period. A fleet assigns each
+	// connection a distinct phase so ticks spread across wheel slots
+	// instead of thundering on the same boundary.
+	Phase time.Duration
+}
+
+// Tick schedules fn every period on the shard's wheel and returns its
+// cancel handle.
+func (c Clock) Tick(period time.Duration, fn func(now qstate.Time)) engine.Ticker {
+	t := &Timer{Fn: fn}
+	initial := period
+	if c.Phase > 0 {
+		initial += c.Phase % period
+	}
+	c.S.Wheel().ArmPeriodic(t, initial, period)
+	s := c.S
+	return engine.TickerFunc(func() { s.Wheel().Cancel(t) })
+}

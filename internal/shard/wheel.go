@@ -1,0 +1,280 @@
+// Package shard is the shared-nothing scaling layer for the real-socket
+// path: a Group of N shards, each owning a batch of connections assigned by
+// FNV hash, a hierarchical timer wheel driving every endpoint control tick
+// on that shard, and a run queue through which other goroutines hand work
+// to the shard's event loop. One wall-clock ticker per *shard* replaces one
+// ticker goroutine per *connection* — the per-connection control cost is a
+// wheel slot (48 bytes and O(1) arm/fire), not a goroutine plus a runtime
+// timer, which is what lets a single kvserver hold 50k+ controlled
+// connections (ROADMAP item 1; Hill's bottleneck framing: the control
+// plane, not the NIC, must not be the bottleneck).
+//
+// Everything on a shard is single-goroutine by construction: wheel state,
+// timers, and any connection state the timers touch are owned by the
+// shard's event loop and must only be accessed on it (or before Start /
+// after Stop, which establish the happens-before edges). There are no locks
+// on the tick path and no allocations (//e2e:hotpath + allocgate), and the
+// wheel advances on explicit timestamps, so under a simulated clock the
+// whole shard layer is deterministic and unit-testable without sockets.
+package shard
+
+import (
+	"time"
+
+	"e2ebatch/internal/qstate"
+)
+
+// Wheel geometry: wheelLevels levels of wheelSlots slots each. Level 0
+// slots are one tick wide; level l slots are wheelSlots^l ticks wide.
+// With the default 1 ms tick the wheel directly addresses ~4.6 hours
+// (64^4 ticks); anything further parks at the top level and re-cascades.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	// wheelSpan is the horizon, in ticks, the wheel addresses directly.
+	wheelSpan = 1 << (wheelBits * wheelLevels)
+)
+
+// A Timer is one schedulable callback, embedded intrusively in the wheel's
+// slot lists so arming and firing never allocate. The zero value is an
+// unarmed timer; set Fn before arming. A Timer belongs to exactly one
+// wheel at a time and, like everything on a shard, must only be touched on
+// the shard goroutine that owns that wheel.
+type Timer struct {
+	// Fn is the callback, invoked from Wheel.Advance with the advance's
+	// target time. It may freely Arm, ArmPeriodic and Cancel timers on the
+	// same wheel, including itself.
+	Fn func(now qstate.Time)
+
+	when   int64 // absolute due tick
+	period int64 // ticks between fires; 0 = one-shot
+	next   *Timer
+	prev   *Timer
+	list   *timerList
+}
+
+// Armed reports whether the timer is currently scheduled.
+func (t *Timer) Armed() bool { return t.list != nil }
+
+// timerList is an intrusive doubly-linked list of timers — one per wheel
+// slot. Intrusive links keep arm/cancel pointer-swaps with no container
+// allocations, the same zero-alloc discipline as the engine's scratch
+// buffers (DESIGN.md §13).
+type timerList struct {
+	head *Timer
+	tail *Timer
+}
+
+//e2e:hotpath
+func (l *timerList) push(t *Timer) {
+	t.list = l
+	t.prev = l.tail
+	t.next = nil
+	if l.tail != nil {
+		l.tail.next = t
+	} else {
+		l.head = t
+	}
+	l.tail = t
+}
+
+//e2e:hotpath
+func (l *timerList) remove(t *Timer) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		l.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		l.tail = t.prev
+	}
+	t.next, t.prev, t.list = nil, nil, nil
+}
+
+// Wheel is a hierarchical timer wheel: O(1) arm and cancel, amortized-O(1)
+// advance, zero allocations on all three. It is driven by explicit
+// timestamps (Advance), so the same wheel runs identically under a
+// wall-clock shard loop and a simulated clock in tests. Not safe for
+// concurrent use — it is shard-owned state.
+type Wheel struct {
+	tick  int64 // granularity, ns per tick
+	cur   int64 // current absolute tick (= time / tick, monotone)
+	armed int
+	fired uint64
+	slots [wheelLevels][wheelSlots]timerList
+}
+
+// NewWheel returns a wheel positioned at start with the given granularity.
+// Delays round up to whole ticks (minimum one), so tick bounds how precise
+// any schedule on this wheel can be.
+func NewWheel(start qstate.Time, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		panic("shard: wheel tick must be positive")
+	}
+	return &Wheel{tick: int64(tick), cur: int64(start) / int64(tick)}
+}
+
+// Armed returns the number of currently scheduled timers.
+func (w *Wheel) Armed() int { return w.armed }
+
+// Fired returns the total number of timer callbacks dispatched.
+func (w *Wheel) Fired() uint64 { return w.fired }
+
+// Pos returns the wheel's current position, rounded down to its tick.
+func (w *Wheel) Pos() qstate.Time { return qstate.Time(w.cur * w.tick) }
+
+// TicksUntil returns how many whole ticks lie between the wheel's position
+// and now — the backlog an Advance(now) would work through. Negative times
+// behind the wheel report zero.
+func (w *Wheel) TicksUntil(now qstate.Time) int64 {
+	n := int64(now)/w.tick - w.cur
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// ticksFor converts a duration to a whole number of ticks, rounding up,
+// minimum one: a timer armed "now" still fires strictly in the future.
+//
+//e2e:hotpath
+func (w *Wheel) ticksFor(d time.Duration) int64 {
+	n := (int64(d) + w.tick - 1) / w.tick
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Arm schedules t to fire once after delay (rounded up to ticks, minimum
+// one). An already-armed timer is rescheduled.
+//
+//e2e:hotpath
+func (w *Wheel) Arm(t *Timer, delay time.Duration) {
+	w.ArmPeriodic(t, delay, 0)
+}
+
+// ArmPeriodic schedules t to fire after initial and then every period.
+// Zero period means one-shot; a positive period also rounds up to ticks
+// (minimum one). An already-armed timer is rescheduled.
+//
+//e2e:hotpath
+func (w *Wheel) ArmPeriodic(t *Timer, initial, period time.Duration) {
+	if t.list != nil {
+		t.list.remove(t)
+		w.armed--
+	}
+	t.when = w.cur + w.ticksFor(initial)
+	if period > 0 {
+		t.period = w.ticksFor(period)
+	} else {
+		t.period = 0
+	}
+	w.place(t)
+	w.armed++
+}
+
+// Cancel unschedules t. Canceling an unarmed timer is a no-op, so the call
+// is safe from any fire callback regardless of interleaving.
+//
+//e2e:hotpath
+func (w *Wheel) Cancel(t *Timer) {
+	if t.list == nil {
+		return
+	}
+	t.list.remove(t)
+	w.armed--
+}
+
+// place files t into the slot covering its due tick: level 0 for the next
+// wheelSlots ticks, each higher level for the next power-of-64 band.
+// Timers beyond the wheel's span park in the furthest top-level slot and
+// re-place at each cascade until their true due tick comes into range.
+//
+//e2e:hotpath
+func (w *Wheel) place(t *Timer) {
+	eff := t.when
+	d := eff - w.cur
+	if d < 0 {
+		// Already due (cascade of an overdue timer): fire on the tick in
+		// progress.
+		eff, d = w.cur, 0
+	} else if d >= wheelSpan {
+		eff = w.cur + wheelSpan - 1
+		d = wheelSpan - 1
+	}
+	level := 0
+	for d >= wheelSlots {
+		d >>= wheelBits
+		level++
+	}
+	w.slots[level][(eff>>(wheelBits*level))&wheelMask].push(t)
+}
+
+// Advance moves the wheel forward to now, cascading and firing every tick
+// boundary crossed, in order. Callbacks receive the boundary's own
+// timestamp (tick-quantized), not now — so a late Advance that works
+// through a backlog replays the schedule deterministically, and a sim-clock
+// test sees the exact same fire times as a wall-clock shard would.
+//
+//e2e:hotpath
+func (w *Wheel) Advance(now qstate.Time) {
+	target := int64(now) / w.tick
+	for w.cur < target {
+		w.cur++
+		w.step()
+	}
+}
+
+// step processes one tick boundary: cascade any higher-level slot whose
+// window opens at this tick (top-down, so entries resettle through every
+// intermediate level in one pass), then fire the level-0 slot.
+//
+//e2e:hotpath
+func (w *Wheel) step() {
+	for level := wheelLevels - 1; level >= 1; level-- {
+		span := int64(1) << (wheelBits * level)
+		if w.cur&(span-1) == 0 {
+			w.cascade(level, int((w.cur>>(wheelBits*level))&wheelMask))
+		}
+	}
+	w.fire(qstate.Time(w.cur * w.tick))
+}
+
+// cascade re-places every timer in the given higher-level slot by its true
+// due tick. Entries land at most at the level below (their distance is now
+// under the slot's span), so no timer is ever lost or fired early.
+//
+//e2e:hotpath
+func (w *Wheel) cascade(level, idx int) {
+	l := &w.slots[level][idx]
+	for t := l.head; t != nil; t = l.head {
+		l.remove(t)
+		w.place(t)
+	}
+}
+
+// fire dispatches the level-0 slot for the current tick. Timers pop one at
+// a time so a callback may cancel any timer still pending — including
+// later entries of this same slot. Periodic timers re-arm before their
+// callback runs, so the callback may Cancel to stop the series.
+//
+//e2e:hotpath
+func (w *Wheel) fire(now qstate.Time) {
+	slot := &w.slots[0][int(w.cur&wheelMask)]
+	for t := slot.head; t != nil; t = slot.head {
+		slot.remove(t)
+		w.armed--
+		if t.period > 0 {
+			t.when = w.cur + t.period
+			w.place(t)
+			w.armed++
+		}
+		w.fired++
+		t.Fn(now)
+	}
+}

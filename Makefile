@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke scale-smoke cover bench bench-diff fidelity-smoke tail-fidelity-smoke clean
+.PHONY: tier1 vet lint escapes allocgate build test race obs-smoke trace-smoke scale-smoke cover bench bench-diff fidelity-smoke tail-fidelity-smoke clean
 
 # tier1 is the CI gate. Target graph (each arrow is a declared prerequisite,
 # so the graph is fail-fast even under `make -j`: nothing downstream of a
@@ -17,6 +17,7 @@ GOFMT ?= gofmt
 #          ├─ race ─→ build
 #          ├─ fidelity-smoke ─→ build
 #          ├─ tail-fidelity-smoke ─→ build
+#          ├─ trace-smoke ─→ build (span plane against a real kvserver)
 #          ├─ scale-smoke ─→ build (2k-connection shard-engine fleet)
 #          └─ bench-diff ─→ build
 #   cover ──→ build           (slow; run on demand, not part of the gate)
@@ -26,12 +27,12 @@ GOFMT ?= gofmt
 # fuzz-seed and stress tests all still run. fidelity-smoke and bench-diff
 # are both short-run-safe: the smoke replays the zoo at a reduced duration,
 # and bench-diff degrades to a no-op note until two archives exist.
-tier1: vet lint escapes allocgate build test race obs-smoke scale-smoke fidelity-smoke tail-fidelity-smoke bench-diff
+tier1: vet lint escapes allocgate build test race obs-smoke trace-smoke scale-smoke fidelity-smoke tail-fidelity-smoke bench-diff
 
 vet:
 	$(GO) vet ./...
 
-# lint enforces gofmt plus the project's own invariants: the eleven e2elint
+# lint enforces gofmt plus the project's own invariants: the twelve e2elint
 # analyzers described in DESIGN.md §8 "Enforced invariants" (the escapes
 # analyzer runs under its own target below — it needs the compiler).
 # Suppressions require a justified `//lint:ignore e2elint/<name> reason`
@@ -71,6 +72,15 @@ race: build
 obs-smoke: build
 	$(GO) test -count=1 -run TestObsSmokeKvserver -v .
 
+# trace-smoke exercises the span tracing plane end to end against the real
+# kvserver binary: spawn with -obs -spansample 1, drive requests over real
+# TCP, require /debug/spans to serve well-formed JSONL spans covering them
+# and /debug/trace a loadable Chrome trace_event document, then SIGINT and
+# require exit 0. The same test runs inside `make test`; this target reruns
+# it verbosely and uncached.
+trace-smoke: build
+	$(GO) test -count=1 -run TestTraceSmokeKvserver -v .
+
 # scale-smoke exercises the shared-nothing shard engine at fleet scale: a
 # 2000-connection kvload-shaped fleet against an in-process kvserver, every
 # connection's control tick and pacing on shard timer wheels, asserting a
@@ -86,15 +96,15 @@ scale-smoke: build
 # correctness rests on: the wrap-aware counter math (qstate), the estimate
 # combination (core), the fault-injection subsystem (faults), and the shared
 # control loop (engine), plus the decision policies (policy, floored when
-# tail-SLO objectives landed), the PR-8 telemetry plane (obs), the benchmark
-# artifact parser (benchfmt), the model-fidelity corpus: the workload
-# zoo (loadgen) and the closed-form rival (analytic), and the invariant
-# analyzer suite itself (lint). Floors sit a few points under measured
-# coverage at introduction (qstate 98.9%, core 92.9%, faults 95.5%, engine
-# 96.1%, obs 89.6%, benchfmt 92.6%, loadgen 96.1%, analytic 96.4%, lint
-# 90.0%, policy 98.7%; core re-floored at 90 with the tail-composition
-# coverage) so incidental drift passes but a feature landing untested does
-# not.
+# tail-SLO objectives landed), the PR-8 telemetry plane (obs) and its span
+# tracing/audit plane (obs/span), the benchmark artifact parser (benchfmt),
+# the model-fidelity corpus: the workload zoo (loadgen) and the closed-form
+# rival (analytic), and the invariant analyzer suite itself (lint). Floors
+# sit a few points under measured coverage at introduction (qstate 98.9%,
+# core 92.9%, faults 95.5%, engine 96.1%, obs 89.6%, obs/span 93.4%,
+# benchfmt 92.6%, loadgen 96.1%, analytic 96.4%, lint 90.0%, policy 98.7%;
+# core re-floored at 90 with the tail-composition coverage) so incidental
+# drift passes but a feature landing untested does not.
 cover: build
 	@$(GO) test -coverprofile=cover.out ./... > cover.txt || { cat cover.txt; rm -f cover.txt cover.out; exit 1; }
 	@cat cover.txt
@@ -105,6 +115,7 @@ cover: build
 		floor["e2ebatch/internal/faults"]=90; \
 		floor["e2ebatch/internal/engine"]=92; \
 		floor["e2ebatch/internal/obs"]=84; \
+		floor["e2ebatch/internal/obs/span"]=88; \
 		floor["e2ebatch/internal/lint"]=85; \
 		floor["e2ebatch/internal/benchfmt"]=88; \
 		floor["e2ebatch/internal/loadgen"]=92; \

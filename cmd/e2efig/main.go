@@ -8,6 +8,7 @@
 //	e2efig -fig 4a -parallel 1      # force serial execution of the sweep
 //	e2efig -fig 4a -trace out.log   # also dump the raw ethtool-style log
 //	e2efig -analyze out.log         # offline analysis of a dumped log
+//	e2efig -spans out.jsonl         # span-traced run + estimator audit
 //
 // Sweeps fan their runs across -parallel worker goroutines (default:
 // GOMAXPROCS). Each run draws from its own seeded RNG, so results are
@@ -26,6 +27,7 @@ import (
 	"e2ebatch/internal/faults"
 	"e2ebatch/internal/figures"
 	"e2ebatch/internal/obs"
+	"e2ebatch/internal/obs/span"
 	"e2ebatch/internal/tcpsim"
 	"e2ebatch/internal/trace"
 )
@@ -38,6 +40,8 @@ func main() {
 		seed       = flag.Int64("seed", 7, "simulation seed")
 		rateList   = flag.String("rates", "", "comma-separated offered loads in RPS (default: figure-specific grid)")
 		traceOut   = flag.String("trace", "", "dump a raw counter log for one 35 kRPS batching-off run to this file")
+		spansOut   = flag.String("spans", "", "dump sampled request spans (JSONL) for one 35 kRPS tail-targeting dynamic run to this file, with the online estimator audit attached, and exit")
+		spanEvery  = flag.Uint64("spansample", 8, "with -spans: trace 1-in-N completed requests (1: every request)")
 		analyze    = flag.String("analyze", "", "offline-analyze a counter log dumped with -trace and exit")
 		metricsOut = flag.String("metricsout", "", "with -analyze: also write a Prometheus text snapshot (fault activations, sample counts) to this file")
 		batch      = flag.Int("syscall-batch", 4, "requests per send(2) in the hints experiment")
@@ -71,6 +75,14 @@ func main() {
 			}
 			rates = append(rates, v)
 		}
+	}
+
+	if *spansOut != "" {
+		if err := dumpSpans(cal, *spansOut, *dur, *seed, *spanEvery); err != nil {
+			fmt.Fprintln(os.Stderr, "e2efig:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *traceOut != "" {
@@ -147,6 +159,55 @@ func main() {
 		return
 	}
 	run(*fig)
+}
+
+// dumpSpans runs one tail-targeting dynamic run with the span tracer and
+// estimator audit attached — the simulated deployment of the observability
+// plane. Sampled completions become spans stamped with the estimate current
+// at their decision tick; the auditor scores measured vs predicted and the
+// engine consumes the verdict. Virtual time makes the dump reproducible
+// byte for byte at a fixed seed.
+func dumpSpans(cal figures.Calib, path string, dur time.Duration, seed int64, every uint64) error {
+	tr := span.New(span.Config{
+		Seed:        uint64(seed),
+		SampleEvery: every,
+		Ring:        span.NewRing(1, 4096),
+		Audit:       span.NewAuditor(span.AuditConfig{ExpectTail: true}),
+	})
+	ob := obs.NewEngineObserver(obs.NewEngineMetrics(obs.NewRegistry()), nil)
+	ob.Spans = tr
+	dyn := figures.DefaultDynamicSpec(500 * time.Microsecond)
+	dyn.TailQuantile = 0.99
+	dyn.Audit = tr.Auditor()
+	var sp span.Span // the sim runs requests on one goroutine: reused scratch
+	out := figures.Run(figures.RunSpec{
+		Calib:    cal,
+		Seed:     seed,
+		Rate:     35000,
+		Duration: dur,
+		Dynamic:  dyn,
+		Observer: ob,
+		OnComplete: func(reqID uint64, scheduledNs, completedNs int64) {
+			if !tr.Sampled(reqID) {
+				return
+			}
+			tr.Begin(&sp, 0, 0, reqID, scheduledNs)
+			tr.Finish(&sp, completedNs)
+		},
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Ring().WriteJSONL(f, tr.Ring().Cap()); err != nil {
+		return err
+	}
+	st := tr.Auditor().AuditStats()
+	fmt.Printf("spans written to %s (%d in ring, sample 1-in-%d)\n", path, tr.Ring().Len(), every)
+	fmt.Printf("audit: %d audited, %d tail-audited, p99 coverage %.3f, residual EWMA %v, drift ticks %d\n",
+		st.Audited, st.TailAudited, st.Coverage, st.ResidualEWMA.Round(time.Microsecond), out.AuditDriftTicks)
+	return nil
 }
 
 // dumpTrace produces a raw counter log the way the paper's prototype

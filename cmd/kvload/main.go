@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"e2ebatch/internal/obs"
+	"e2ebatch/internal/obs/span"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/realtcp"
 	"e2ebatch/internal/resp"
@@ -54,6 +55,7 @@ func main() {
 		slo     = flag.Duration("slo", 500*time.Microsecond, "latency SLO for the toggling objective")
 		seed    = flag.Int64("seed", 1, "toggler exploration RNG seed; 0 draws one from the wall clock")
 		obsAddr = flag.String("obs", "", "serve /metrics, /debug/decisions, /debug/vars and /debug/pprof on this address for the run (empty: disabled)")
+		spanN   = flag.Uint64("spansample", 64, "with -obs, trace 1-in-N requests as spans at /debug/spans and /debug/trace, audited against the live estimate (0: disabled; 1: every request)")
 
 		conns     = flag.Int("conns", 0, "fleet mode: hold this many concurrent connections (0: single-connection mode)")
 		active    = flag.Int("active", 0, "fleet mode: connections sending at -rate (0: conns/10); the rest heartbeat every -idle-every")
@@ -85,6 +87,7 @@ func main() {
 			shards: *shards, ctick: *ctick, wheelTick: *wheelTick,
 			slo: *slo, seed: *seed, inflight: *inflight, readbuf: *readbuf,
 			srcips: *srcips, workers: *workers, obsAddr: *obsAddr,
+			spanN: *spanN,
 		})
 		return
 	}
@@ -126,6 +129,29 @@ func main() {
 		c.ObserveLatencies(reg.Latencies("e2e_request_latency_seconds",
 			"Client-observed request latency (send to response).").Record)
 		debug := obs.NewDebugServer(reg, ring)
+		if *spanN > 0 {
+			// Span tracing + online estimator audit: sampled completions
+			// become spans stamped with the estimate current at their tick
+			// (ob.Spans feeds the stamp), the auditor scores measured vs
+			// predicted, and the engine consumes the verdict via opts.Audit.
+			tr := span.New(span.Config{
+				Seed:        uint64(*seed),
+				SampleEvery: *spanN,
+				Ring:        span.NewRing(1, 1024),
+				Audit:       span.NewAuditor(span.AuditConfig{ExpectTail: false}),
+			})
+			ob.Spans = tr
+			opts.Audit = tr.Auditor()
+			debug.SetSpans(tr.Ring())
+			var sp span.Span // read loop is one goroutine; reused scratch
+			c.ObserveCompletions(func(reqID uint64, sentNs, ackNs int64) {
+				if !tr.Sampled(reqID) {
+					return
+				}
+				tr.Begin(&sp, 0, 0, reqID, sentNs)
+				tr.Finish(&sp, ackNs)
+			})
+		}
 		a, err := debug.Start(*obsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvload: obs:", err)
@@ -162,12 +188,26 @@ type fleetFlags struct {
 	inflight, readbuf int
 	srcips, workers   int
 	obsAddr           string
+	spanN             uint64
 }
 
 func runFleet(ff fleetFlags) {
 	fds, _ := realtcp.RaiseNOFILE(uint64(2*ff.conns + 4096))
 	if fds < uint64(ff.conns)+1024 {
 		fmt.Fprintf(os.Stderr, "kvload: open-file limit %d is tight for %d connections; continuing\n", fds, ff.conns)
+	}
+	// Fleet spans are lifecycle-only: connections carry no estimate stamp
+	// (each runs its own endpoint, ticked on shard wheels), so sampled
+	// completions export as rtt slices without audit fields. The sampling
+	// key folds the connection index into the per-connection FIFO reqID so
+	// 1-in-N holds fleet-wide, not per connection.
+	var tr *span.Tracer
+	if ff.obsAddr != "" && ff.spanN > 0 {
+		tr = span.New(span.Config{
+			Seed:        uint64(ff.seed),
+			SampleEvery: ff.spanN,
+			Ring:        span.NewRing(8, 512),
+		})
 	}
 	f, err := realtcp.NewFleet(realtcp.FleetOptions{
 		Addr:         ff.addr,
@@ -187,6 +227,7 @@ func runFleet(ff fleetFlags) {
 		ReadBufBytes: ff.readbuf,
 		SourceIPs:    ff.srcips,
 		DialWorkers:  ff.workers,
+		OnSpan:       fleetSpanHook(tr),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kvload:", err)
@@ -216,6 +257,15 @@ func runFleet(ff fleetFlags) {
 			reg.GaugeFunc("e2e_fleet_wheel_max_behind", "Worst tick backlog seen per shard.", func() float64 {
 				return float64(f.ShardLive(i).Wheel.MaxBehind)
 			}, l)
+			reg.GaugeFunc("e2e_fleet_wheel_behind", "Current tick backlog per shard.", func() float64 {
+				return float64(f.ShardLive(i).Wheel.Behind)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_wheel_fired", "Wheel timers fired per shard.", func() float64 {
+				return float64(f.ShardLive(i).Wheel.Fired)
+			}, l)
+			reg.GaugeFunc("e2e_fleet_wheel_services", "Run-queue services per shard.", func() float64 {
+				return float64(f.ShardLive(i).Wheel.Services)
+			}, l)
 		}
 		reg.GaugeFunc("e2e_fleet_sent_sum", "Requests sent, all shards.", func() float64 {
 			var t uint64
@@ -225,6 +275,9 @@ func runFleet(ff fleetFlags) {
 			return float64(t)
 		})
 		debug := obs.NewDebugServer(reg, obs.NewRing(16))
+		if tr != nil {
+			debug.SetSpans(tr.Ring())
+		}
 		a, err := debug.Start(ff.obsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvload: obs:", err)
@@ -263,6 +316,24 @@ func runFleet(ff fleetFlags) {
 	}
 	fmt.Printf("shards: %d, wheelFired=%d services=%d maxBehindTicks=%d finalRunQueue=%d\n",
 		len(rep.Shards), fired, services, rep.MaxBehindTicks, rep.FinalRunQueue)
+}
+
+// fleetSpanHook adapts a tracer to the fleet's completion feed, or nil
+// when tracing is off. It runs on many read-loop goroutines at once, so
+// each call uses its own stack-scratch span (the tracer never retains the
+// pointer, so it does not escape).
+func fleetSpanHook(tr *span.Tracer) func(conn, shard int, reqID uint64, sentNs, ackNs int64) {
+	if tr == nil {
+		return nil
+	}
+	return func(conn, shard int, reqID uint64, sentNs, ackNs int64) {
+		if !tr.Sampled(uint64(conn)<<32 ^ reqID) {
+			return
+		}
+		var sp span.Span
+		tr.Begin(&sp, uint32(shard), uint32(conn), reqID, sentNs)
+		tr.Finish(&sp, ackNs)
+	}
 }
 
 func fleetActive(ff fleetFlags) int {

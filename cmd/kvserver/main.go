@@ -22,10 +22,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"e2ebatch/internal/kv"
 	"e2ebatch/internal/obs"
+	"e2ebatch/internal/obs/span"
 	"e2ebatch/internal/realtcp"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for per-shard connection/request accounting")
 		connbuf = flag.Int("connbuf", 64<<10, "per-connection buffer size in bytes (high fan-in wants this small)")
 		nofile  = flag.Uint64("nofile", 1<<20, "raise the open-file soft limit toward this before serving")
+		spanN   = flag.Uint64("spansample", 64, "with -obs, trace 1-in-N served requests as spans at /debug/spans and /debug/trace (0: disabled; 1: every request)")
 	)
 	flag.Parse()
 
@@ -73,11 +76,38 @@ func main() {
 				return float64(reqs.Value())
 			})
 		srv.OnConnShard = func(shard, delta int) { conns.Add(shard, int64(delta)) }
+		// Server-side spans: each sampled request's execution window on the
+		// process timebase (parse-to-reply, like the latency summary). The
+		// request id is a process-wide atomic counter; the hook runs on many
+		// handler goroutines, so each call uses its own stack-scratch span.
+		var tr *span.Tracer
+		var reqSeq atomic.Uint64
+		start := time.Now()
+		if *spanN > 0 {
+			tr = span.New(span.Config{
+				SampleEvery: *spanN,
+				Ring:        span.NewRing(*shards, 512),
+			})
+		}
 		srv.OnRequestShard = func(shard int, d time.Duration) {
 			reqs.Inc(shard)
 			lat.Record(d)
+			if tr == nil {
+				return
+			}
+			id := reqSeq.Add(1) - 1
+			if !tr.Sampled(id) {
+				return
+			}
+			end := time.Since(start).Nanoseconds()
+			var sp span.Span
+			tr.Begin(&sp, uint32(shard), 0, id, end-d.Nanoseconds())
+			tr.Finish(&sp, end)
 		}
 		debug = obs.NewDebugServer(reg, obs.NewRing(1024))
+		if tr != nil {
+			debug.SetSpans(tr.Ring())
+		}
 		a, err := debug.Start(*obsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kvserver: obs:", err)

@@ -88,6 +88,41 @@ type Observer interface {
 	ObserveTick(now qstate.Time, r TickResult)
 }
 
+// AuditStats is the online estimator-audit summary the engine consumes
+// each tick: how sampled per-request delays compared against the estimates
+// that were current when they completed. It is produced by the span
+// tracer's auditor (internal/obs/span) but defined here — like Observer —
+// so the engine never imports the observability plane.
+type AuditStats struct {
+	// Audited counts sampled spans scored against a valid mean estimate;
+	// TailAudited the subset that also carried a valid tail stamp; Covered
+	// the TailAudited spans whose measured delay fell at or under the
+	// predicted p99; BlindTail the Audited spans whose stamp had a valid
+	// mean but no tail.
+	Audited     uint64
+	TailAudited uint64
+	Covered     uint64
+	BlindTail   uint64
+	// Coverage is Covered/TailAudited (1 before any tail-audited span): the
+	// live analogue of the fidelity harness's p99-coverage score. A healthy
+	// p99 estimate keeps it near 0.99.
+	Coverage float64
+	// ResidualEWMA is the exponentially weighted mean of (measured −
+	// estimated) delay over audited spans — the estimator's signed bias.
+	ResidualEWMA time.Duration
+	// Drifting reports the audit tripped: coverage fell below the
+	// configured floor with enough samples, or a tail was expected and
+	// never stamped. Drifting ticks are routed down the degraded path.
+	Drifting bool
+}
+
+// AuditSource supplies the per-tick audit summary — implemented by
+// span.Auditor. AuditStats runs on the tick goroutine (//e2e:hotpath) and
+// must not block or allocate.
+type AuditSource interface {
+	AuditStats() AuditStats
+}
+
 // Config parameterizes an Endpoint. At most one of Controller and AIMD may
 // be set; with neither, the endpoint is a passive estimator (Tick updates
 // estimates and accounting but applies nothing) — the probe mode the
@@ -127,6 +162,13 @@ type Config struct {
 	// thread it through their option structs without importing the
 	// observability plane.
 	Observer Observer
+	// Audit, when non-nil, is polled every tick for the online
+	// estimator-audit summary; a drifting audit routes the tick down the
+	// degraded path (the same safe-mode retreat a missing peer or an
+	// abstaining tail triggers) — the estimator is measurably wrong about
+	// the delays requests actually experience, so decisions built on it
+	// are no longer trustworthy.
+	Audit AuditSource
 }
 
 // TickResult is what one decision tick produced.
@@ -144,6 +186,12 @@ type TickResult struct {
 	// routed degraded. Surfaced separately so telemetry can distinguish
 	// "peer gone" from "peer speaks v1 / tail unobservable".
 	TailAbstained bool
+	// Audit is the tick's estimator-audit summary and AuditChecked whether
+	// one was taken (Config.Audit set); AuditDrift reports the audit
+	// tripped on this tick, which also routed it degraded.
+	Audit        AuditStats
+	AuditChecked bool
+	AuditDrift   bool
 	// Mode and Applied describe the decision: Applied is false for
 	// passive endpoints and for AIMD ticks skipped on invalid estimates.
 	Mode    policy.Mode
@@ -172,6 +220,9 @@ type Stats struct {
 	// TailAbstainedTicks counts the DegradedTicks subset caused by a
 	// tail-targeting config meeting a valid mean but no composed tail.
 	TailAbstainedTicks int
+	// AuditDriftTicks counts the DegradedTicks subset caused by a
+	// drifting estimator audit (Config.Audit).
+	AuditDriftTicks int
 	// ValidEstimates counts ticks whose estimate was valid.
 	ValidEstimates int
 	// ModeErrors counts individual Apply failures.
@@ -270,6 +321,18 @@ func (ep *Endpoint) Tick(now qstate.Time) TickResult {
 		r.TailAbstained = true
 		r.Degraded = true
 		ep.stats.TailAbstainedTicks++
+	}
+	if ep.cfg.Audit != nil {
+		r.Audit = ep.cfg.Audit.AuditStats()
+		r.AuditChecked = true
+		if r.Audit.Drifting {
+			// The live audit says measured delays no longer match the
+			// estimate driving decisions: route degraded, same retreat as
+			// an untrusted estimate.
+			r.AuditDrift = true
+			r.Degraded = true
+			ep.stats.AuditDriftTicks++
+		}
 	}
 	// lat is what the policy observes: the mean estimate, or — in
 	// tail-targeting mode — the configured quantile of the composed tail.

@@ -41,6 +41,12 @@ type DynamicSpec struct {
 	// a tail the wire never delivers, so every tick abstains and the
 	// controller must retreat to its safe mode.
 	TailsV1Peer bool
+	// Audit, when non-nil, attaches an online estimator audit to the
+	// dynamic endpoint (engine.Config.Audit): drifting audits route ticks
+	// degraded. Like RunSpec.Observer it is an engine-defined interface,
+	// so this package stays free of the observability plane and a nil
+	// audit leaves runs byte-identical.
+	Audit engine.AuditSource
 }
 
 // DefaultDynamicSpec returns the toggling setup used by the experiments: a
@@ -135,6 +141,16 @@ type RunSpec struct {
 	// Faults schedules a fault-injection plan against the run (package
 	// faults). Loss windows force an RTO, exactly as LossProb does.
 	Faults *faults.Plan
+
+	// Observer, when non-nil, receives every dynamic-endpoint tick with
+	// the raw samples attached (engine.Config.Observer) — the telemetry
+	// seam. Nil keeps golden runs allocation- and byte-identical.
+	Observer engine.Observer
+	// OnComplete, when non-nil, observes every completed request
+	// (loadgen.Config.OnComplete): the per-request seam span tracing and
+	// the sim-vs-span digest tests consume. Timestamps are virtual-time
+	// nanoseconds; reqID is the FIFO completion index.
+	OnComplete func(reqID uint64, scheduledNs, completedNs int64)
 }
 
 // RunOut collects everything a figure needs from one run.
@@ -175,6 +191,9 @@ type RunOut struct {
 	// TailAbstainedTicks counts the DegradedTicks subset where a
 	// tail-targeting policy met a valid mean but no composed tail.
 	TailAbstainedTicks int
+	// AuditDriftTicks counts the DegradedTicks subset caused by a drifting
+	// estimator audit (DynamicSpec.Audit).
+	AuditDriftTicks int
 }
 
 // Run executes one experiment run and returns its outputs.
@@ -243,6 +262,7 @@ func Run(spec RunSpec) *RunOut {
 	lcfg.Drain = 50 * time.Millisecond
 	lcfg.SyscallBatch = spec.SyscallBatch
 	lcfg.WindowEvery = spec.WindowEvery
+	lcfg.OnComplete = spec.OnComplete
 	if scale != 1 {
 		lcfg.SendCosts = lcfg.SendCosts.Scale(scale)
 		lcfg.ReadCosts = lcfg.ReadCosts.Scale(scale)
@@ -291,6 +311,8 @@ func Run(spec RunSpec) *RunOut {
 			CorkOnBytes:  cal.CorkOnBytes,
 			MaxRemoteAge: d.MaxRemoteAge,
 			TailQuantile: d.TailQuantile,
+			Observer:     spec.Observer,
+			Audit:        d.Audit,
 		}, tcpsim.NewEnginePort(cc, sc, d.Unit))
 		dynEp.Start(clock, d.Interval)
 		endpoints = append(endpoints, dynEp)
@@ -384,6 +406,7 @@ func Run(spec RunSpec) *RunOut {
 		out.TotalTicks = st.TotalTicks
 		out.DegradedTicks = st.DegradedTicks
 		out.TailAbstainedTicks = st.TailAbstainedTicks
+		out.AuditDriftTicks = st.AuditDriftTicks
 		out.OnlineEstimates = st.ValidEstimates
 		out.TogglerStats = tog.Stats()
 		out.FinalMode = tog.Mode()

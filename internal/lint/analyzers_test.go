@@ -105,3 +105,7 @@ func TestMutexHoldGoldenUnrestricted(t *testing.T) {
 	// design), so the want comments in the testdata must all go unmatched.
 	runExpectNone(t, MutexHold, "mutexhold")
 }
+
+func TestSpanFinishGolden(t *testing.T) {
+	runGolden(t, SpanFinish, "spanfinish")
+}

@@ -17,16 +17,18 @@ var goldenPackages = []string{
 	"e2ebatch/internal/figures",
 }
 
-// ObsDeterminism forbids any reference to internal/obs — imports, registry
-// reads or writes, ring pushes, type references — inside the
-// golden-determinism packages. Telemetry reaches simulated runs only
-// through the engine.Observer hook (an interface defined in
-// internal/engine, so accepting one needs no obs import), which the golden
-// tests run with a nil observer; everything else exports post-hoc from a
-// finished trace.Log.
+// ObsDeterminism forbids any reference to the internal/obs subtree —
+// imports, registry reads or writes, ring pushes, span tracing, type
+// references — inside the golden-determinism packages. That covers
+// internal/obs itself and internal/obs/span: a span Begin/Finish on a
+// simulated hot path is as much a side channel as a counter increment.
+// Telemetry reaches simulated runs only through the engine.Observer hook
+// and the loadgen OnComplete callback (both defined outside obs, so
+// accepting them needs no obs import), which the golden tests run nil;
+// everything else exports post-hoc from a finished trace.Log.
 var ObsDeterminism = &Analyzer{
 	Name: "obsdeterminism",
-	Doc:  "forbid internal/obs references inside golden-determinism packages",
+	Doc:  "forbid internal/obs and internal/obs/span references inside golden-determinism packages",
 	Run:  runObsDeterminism,
 }
 
@@ -39,10 +41,10 @@ func runObsDeterminism(p *Pass) {
 	}
 	for _, f := range p.Files {
 		for _, imp := range f.Imports {
-			if ip, err := strconv.Unquote(imp.Path.Value); err == nil && ip == obsPath {
+			if ip, err := strconv.Unquote(imp.Path.Value); err == nil && pathIsOneOf(ip, obsPath) {
 				p.Reportf(imp.Pos(),
 					"import of %s in golden-determinism package %s: telemetry may only enter through an engine.Observer hook",
-					obsPath, path)
+					ip, path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -54,12 +56,12 @@ func runObsDeterminism(p *Pass) {
 			// The qualifier ident ("obs" in obs.NewRegistry) resolves to a
 			// PkgName owned by the importing package, so only the selected
 			// object itself matches here — one finding per use, not two.
-			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+			if obj == nil || obj.Pkg() == nil || !pathIsOneOf(obj.Pkg().Path(), obsPath) {
 				return true
 			}
 			p.Reportf(id.Pos(),
 				"use of %s.%s in golden-determinism package %s: obs must stay behind the engine.Observer seam so golden figure output cannot be perturbed",
-				obsPath, obj.Name(), path)
+				obj.Pkg().Path(), obj.Name(), path)
 			return true
 		})
 	}

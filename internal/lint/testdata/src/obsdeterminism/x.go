@@ -6,7 +6,8 @@ package obsdeterminism
 
 import (
 	"e2ebatch/internal/engine"
-	"e2ebatch/internal/obs" // want "import of e2ebatch/internal/obs in golden-determinism package"
+	"e2ebatch/internal/obs"      // want "import of e2ebatch/internal/obs in golden-determinism package"
+	"e2ebatch/internal/obs/span" // want "import of e2ebatch/internal/obs/span in golden-determinism package"
 	"e2ebatch/internal/qstate"
 )
 
@@ -46,4 +47,15 @@ func (h *observerHook) tick(now qstate.Time, r engine.TickResult) {
 	if h.o != nil {
 		h.o.ObserveTick(now, r)
 	}
+}
+
+// spanTraffic: the span tracer is part of the obs subtree — a Begin/Finish
+// on a simulated hot path is a side channel exactly like a counter
+// increment, so golden packages may not reference it either. The sanctioned
+// seam is the loadgen OnComplete callback, which needs no span import.
+func spanTraffic() {
+	tr := span.New(span.Config{SampleEvery: 8}) // want "use of e2ebatch/internal/obs/span.New" "use of e2ebatch/internal/obs/span.Config" "use of e2ebatch/internal/obs/span.SampleEvery"
+	var sp span.Span                            // want "use of e2ebatch/internal/obs/span.Span"
+	tr.Begin(&sp, 0, 0, 1, 10)                  // want "use of e2ebatch/internal/obs/span.Begin"
+	tr.Finish(&sp, 20)                          // want "use of e2ebatch/internal/obs/span.Finish"
 }

@@ -84,6 +84,15 @@ type Config struct {
 	// including warmup), exposing latency-over-time series in
 	// Result.Windows — used to visualize policy convergence.
 	WindowEvery time.Duration
+
+	// OnComplete, when non-nil, observes every completed request as it
+	// finishes: reqID is the 0-based completion index (equal to the issue
+	// index — the pipeline is FIFO), scheduledNs/completedNs the virtual
+	// timestamps, unfiltered by warmup. This is the per-request export
+	// seam the span-tracing plane hangs off without this package importing
+	// it; a nil hook costs nothing, so instrumented and uninstrumented
+	// runs execute identical event sequences.
+	OnComplete func(reqID uint64, scheduledNs, completedNs int64)
 }
 
 // DefaultConfig returns a modest client profile.
@@ -352,6 +361,9 @@ func (g *Generator) wake() {
 			g.res.Completed++
 			if g.Hints != nil {
 				g.Hints.Complete(1)
+			}
+			if g.cfg.OnComplete != nil {
+				g.cfg.OnComplete(g.res.Completed-1, int64(p.scheduledAt), int64(now))
 			}
 			lat := now.Sub(p.scheduledAt)
 			if g.cfg.WindowEvery > 0 {

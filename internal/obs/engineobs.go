@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"e2ebatch/internal/engine"
+	"e2ebatch/internal/obs/span"
 	"e2ebatch/internal/policy"
 	"e2ebatch/internal/qstate"
 )
@@ -26,10 +27,14 @@ type EngineMetrics struct {
 	Switches       *Counter
 	SafeModeEnters *Counter
 	Records        *Counter
+	AuditDrifts    *Counter
 	StalenessAge   *Gauge
 	Throughput     *Gauge
 	TailP99        *Gauge
 	TailP999       *Gauge
+	AuditSpans     *Gauge
+	AuditCoverage  *Gauge
+	AuditResidual  *Gauge
 	EstimateLat    *Latencies
 }
 
@@ -50,10 +55,14 @@ func NewEngineMetrics(reg *Registry, labels ...Label) *EngineMetrics {
 		Switches:       reg.Counter("e2e_policy_switches_total", "Toggler mode switches.", labels...),
 		SafeModeEnters: reg.Counter("e2e_policy_safe_mode_entries_total", "Degraded runs that forced a retreat to the safe mode.", labels...),
 		Records:        reg.Counter("e2e_decision_records_total", "Decision records published to the ring.", labels...),
+		AuditDrifts:    reg.Counter("e2e_audit_drift_ticks_total", "Ticks the online estimator audit tripped and routed degraded.", labels...),
 		StalenessAge:   reg.Gauge("e2e_estimator_staleness_seconds", "Age of the freshest peer metadata at the last tick.", labels...),
 		Throughput:     reg.Gauge("e2e_estimate_throughput_rps", "Throughput component of the last valid estimate.", labels...),
 		TailP99:        reg.Gauge("e2e_estimate_tail_p99_seconds", "p99 of the last valid composed tail estimate.", labels...),
 		TailP999:       reg.Gauge("e2e_estimate_tail_p999_seconds", "p999 of the last valid composed tail estimate.", labels...),
+		AuditSpans:     reg.Gauge("e2e_audit_spans", "Sampled spans scored against a live estimate so far.", labels...),
+		AuditCoverage:  reg.Gauge("e2e_audit_p99_coverage", "Fraction of tail-audited spans at or under the predicted p99.", labels...),
+		AuditResidual:  reg.Gauge("e2e_audit_residual_ewma_seconds", "EWMA of measured-minus-estimated delay over audited spans.", labels...),
 		EstimateLat:    reg.Latencies("e2e_estimate_latency_seconds", "End-to-end latency estimates, per tick.", labels...),
 	}
 }
@@ -75,6 +84,12 @@ type EngineObserver struct {
 	// method). Without it those three counters stay flat and records
 	// cannot distinguish explore from exploit.
 	Stats func() policy.TogglerStats
+	// Spans, when non-nil, receives each tick's estimate as the span
+	// tracer's stamp (span.Tracer.NoteEstimate): spans finished between
+	// this tick and the next audit against these values. This is how the
+	// audit plane learns what the estimator currently believes without the
+	// engine importing obs.
+	Spans *span.Tracer
 
 	m    *EngineMetrics
 	ring *Ring
@@ -119,6 +134,18 @@ func (o *EngineObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
 	}
 	if r.TailAbstained {
 		m.TailAbstains.Inc()
+	}
+	if o.Spans != nil {
+		o.Spans.NoteEstimate(int64(r.Estimate.Latency), int64(r.Estimate.Tail.P99),
+			r.Estimate.Valid, r.Estimate.Tail.Valid)
+	}
+	if r.AuditChecked {
+		m.AuditSpans.Set(float64(r.Audit.Audited))
+		m.AuditCoverage.Set(r.Audit.Coverage)
+		m.AuditResidual.Set(r.Audit.ResidualEWMA.Seconds())
+		if r.AuditDrift {
+			m.AuditDrifts.Inc()
+		}
 	}
 	if r.Estimate.RemoteStale {
 		m.RemoteStale.Inc()
@@ -181,6 +208,11 @@ func (o *EngineObserver) ObserveTick(now qstate.Time, r engine.TickResult) {
 		TailP999Ns:       int64(r.Estimate.Tail.P999),
 		TailValid:        r.Estimate.Tail.Valid,
 		TailAbstained:    r.TailAbstained,
+		AuditChecked:     r.AuditChecked,
+		AuditSpans:       r.Audit.Audited,
+		AuditCoverage:    r.Audit.Coverage,
+		AuditResidualNs:  int64(r.Audit.ResidualEWMA),
+		AuditDrift:       r.AuditDrift,
 		Explored:         explored,
 		Mode:             r.Mode.String(),
 		Applied:          r.Applied,

@@ -79,6 +79,16 @@ type DecisionRecord struct {
 	TailValid     bool  `json:"tail_valid"`
 	TailAbstained bool  `json:"tail_abstained,omitempty"`
 
+	// The online estimator audit (engine.Config.Audit): how many sampled
+	// spans have been scored, the live p99 coverage and residual EWMA, and
+	// whether the audit tripped on this tick. All zero when no auditor is
+	// attached (AuditChecked false).
+	AuditChecked    bool    `json:"audit_checked,omitempty"`
+	AuditSpans      uint64  `json:"audit_spans,omitempty"`
+	AuditCoverage   float64 `json:"audit_coverage,omitempty"`
+	AuditResidualNs int64   `json:"audit_residual_ns,omitempty"`
+	AuditDrift      bool    `json:"audit_drift,omitempty"`
+
 	// The decision: explore-vs-exploit, the chosen mode, and the apply
 	// outcome.
 	Explored    bool   `json:"explored"`

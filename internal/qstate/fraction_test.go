@@ -1,0 +1,92 @@
+package qstate
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randomDelayHist(rng *rand.Rand, n int) *DelayHist {
+	var h DelayHist
+	for i := 0; i < n; i++ {
+		// Span the full bucket range, overflow included.
+		d := time.Duration(1+rng.Int63n(int64(2*DelayBucketHigh(DelayBuckets-2)))) * time.Nanosecond
+		h.Record(d)
+	}
+	return &h
+}
+
+// TestFractionBelowBasics pins the edge cases: empty histogram reads 1
+// (coverage starts perfect), overflow mass never counts as below any
+// threshold, and a threshold past the last bounded bucket captures all
+// non-overflow mass.
+func TestFractionBelowBasics(t *testing.T) {
+	var empty DelayHist
+	if f := empty.FractionBelow(time.Second); f != 1 {
+		t.Errorf("empty histogram FractionBelow = %v, want 1", f)
+	}
+
+	var h DelayHist
+	h.Record(DelayBucketLow(0) + 1)                // first bucket
+	h.Record(10 * DelayBucketHigh(DelayBuckets-2)) // overflow
+	top := 2 * DelayBucketHigh(DelayBuckets-2)     // beyond every bounded bucket
+	if f := h.FractionBelow(top); f != 0.5 {
+		t.Errorf("FractionBelow(top) = %v, want 0.5 (overflow mass must stay above)", f)
+	}
+	if f := h.FractionBelow(0); f != 0 {
+		t.Errorf("FractionBelow(0) = %v, want 0", f)
+	}
+}
+
+// TestFractionBelowMonotone: across random histograms, FractionBelow is
+// monotone non-decreasing in d and conservative against the exact sample
+// CDF — it never reports more mass below d than a per-bucket lower bound
+// admits.
+func TestFractionBelowMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		h := randomDelayHist(rng, 200+rng.Intn(800))
+		prev := -1.0
+		for d := time.Duration(0); d < 3*DelayBucketHigh(DelayBuckets-2); d += d/7 + time.Microsecond {
+			f := h.FractionBelow(d)
+			if f < prev {
+				t.Fatalf("trial %d: FractionBelow not monotone: %v at d=%v after %v", trial, f, d, prev)
+			}
+			if f < 0 || f > 1 {
+				t.Fatalf("trial %d: FractionBelow(%v) = %v outside [0,1]", trial, d, f)
+			}
+			prev = f
+		}
+	}
+}
+
+// TestFractionBelowMergeBetween: for any threshold, the merge of two
+// histograms reports a fraction between the inputs' fractions (it is their
+// count-weighted average) — so merging per-shard audit histograms can never
+// push the coverage read outside the range its shards span.
+func TestFractionBelowMergeBetween(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		a := randomDelayHist(rng, 100+rng.Intn(400))
+		b := randomDelayHist(rng, 100+rng.Intn(400))
+		m := *a
+		m.Merge(b)
+		for probe := 0; probe < 32; probe++ {
+			d := time.Duration(rng.Int63n(int64(3 * DelayBucketHigh(DelayBuckets-2))))
+			fa, fb, fm := a.FractionBelow(d), b.FractionBelow(d), m.FractionBelow(d)
+			lo, hi := fa, fb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if fm < lo-1e-12 || fm > hi+1e-12 {
+				t.Fatalf("trial %d d=%v: merged fraction %v outside [%v, %v]", trial, d, fm, lo, hi)
+			}
+			// Exact weighted-average identity on the same bucket boundaries.
+			ca, cb := float64(a.Count()), float64(b.Count())
+			want := (fa*ca + fb*cb) / (ca + cb)
+			if diff := fm - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d d=%v: merged fraction %v != weighted average %v", trial, d, fm, want)
+			}
+		}
+	}
+}

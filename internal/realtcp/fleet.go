@@ -86,6 +86,14 @@ type FleetOptions struct {
 	// DrainTimeout bounds the post-window wait for outstanding responses
 	// (default 5s).
 	DrainTimeout time.Duration
+	// OnSpan, when non-nil, receives every completion on every connection:
+	// the connection index, its shard, the per-incarnation FIFO request id,
+	// and the send/ack nanosecond stamps on that connection's monotonic
+	// timebase (see Client.ObserveCompletions). It runs on read-loop
+	// goroutines — many concurrently — and must not block; kvload samples
+	// and fans these into the span ring. reqID restarts at 0 when a
+	// connection reconnects.
+	OnSpan func(conn, shard int, reqID uint64, sentNs, ackNs int64)
 }
 
 // TailSummary is one group's merged latency distribution.
@@ -350,6 +358,9 @@ func (f *Fleet) dial(idx int) *fleetConn {
 func (fc *fleetConn) adoptClient(c *Client) {
 	fc.c = c
 	c.ObserveLatencies(fc.onLatency)
+	if fc.f.opts.OnSpan != nil {
+		c.ObserveCompletions(fc.onCompletion)
+	}
 	cfg := engine.Config{ModeErrorLimit: 3}
 	if fc.controlled {
 		rng := rand.New(rand.NewSource(int64(splitmix64(uint64(fc.f.opts.Seed) + uint64(fc.idx)))))
@@ -371,6 +382,12 @@ func (fc *fleetConn) adoptClient(c *Client) {
 func (fc *fleetConn) onLatency(d time.Duration) {
 	fc.hist.Record(d)
 	fc.f.ctrs.completed[fc.sh.ID()].v.Add(1)
+}
+
+// onCompletion forwards one completion to the fleet's span hook; runs on
+// the connection's read-loop goroutine.
+func (fc *fleetConn) onCompletion(reqID uint64, sentNs, ackNs int64) {
+	fc.f.opts.OnSpan(fc.idx, fc.sh.ID(), reqID, sentNs, ackNs)
 }
 
 // setup arms the connection's wheel timers; runs on the shard goroutine.
@@ -480,6 +497,7 @@ func addEngineStats(a, b engine.Stats) engine.Stats {
 	a.OnTicks += b.OnTicks
 	a.DegradedTicks += b.DegradedTicks
 	a.TailAbstainedTicks += b.TailAbstainedTicks
+	a.AuditDriftTicks += b.AuditDriftTicks
 	a.ValidEstimates += b.ValidEstimates
 	a.ModeErrors += b.ModeErrors
 	return a

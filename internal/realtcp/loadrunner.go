@@ -36,6 +36,10 @@ type LoadOptions struct {
 	// (internal/obs wires an EngineObserver here). It runs on the tick
 	// goroutine and must not block.
 	Observer engine.Observer
+	// Audit, when non-nil, is polled every tick for estimator-audit stats
+	// (kvload wires a span.Auditor here); a drifting audit routes the tick
+	// degraded exactly like repeated mode failures do.
+	Audit engine.AuditSource
 }
 
 // LoadReport summarizes a run.
@@ -82,7 +86,7 @@ func RunLoad(c *Client, opts LoadOptions) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{}
-	cfg := engine.Config{ModeErrorLimit: errLimit, Observer: opts.Observer}
+	cfg := engine.Config{ModeErrorLimit: errLimit, Observer: opts.Observer, Audit: opts.Audit}
 	if opts.Toggler != nil {
 		cfg.Controller = opts.Toggler
 		cfg.Initial = opts.Toggler.Mode()

@@ -246,9 +246,10 @@ type Client struct {
 	done     chan struct{}
 	readErr  error
 
-	latMu sync.Mutex
-	lats  []time.Duration
-	latFn func(time.Duration)
+	latMu  sync.Mutex
+	lats   []time.Duration
+	latFn  func(time.Duration)
+	compFn func(reqID uint64, sentNs, ackNs int64)
 
 	nodelay bool
 }
@@ -405,6 +406,19 @@ func (c *Client) ObserveLatencies(fn func(time.Duration)) {
 	c.latMu.Unlock()
 }
 
+// ObserveCompletions installs fn to receive each completion's FIFO index
+// and its send/ack timestamps, both in nanoseconds on the client's
+// monotonic timebase (elapsed since Dial) — the span-tracing feed. reqID
+// counts completions on this connection from 0; RESP's FIFO ordering makes
+// it equal the issue index. fn runs on the read-loop goroutine and must
+// not block; pass nil to detach. Reconnecting builds a new Client, so
+// reqID restarts at 0 per connection incarnation.
+func (c *Client) ObserveCompletions(fn func(reqID uint64, sentNs, ackNs int64)) {
+	c.latMu.Lock()
+	c.compFn = fn
+	c.latMu.Unlock()
+}
+
 // Latencies drains and returns the per-request latencies recorded so far.
 func (c *Client) Latencies() []time.Duration {
 	c.latMu.Lock()
@@ -438,6 +452,7 @@ func (c *Client) readLoop() {
 		bufBytes = 64 << 10
 	}
 	buf := make([]byte, bufBytes)
+	var completions uint64 // FIFO completion index, read-loop-local
 	for {
 		if c.readTimeout > 0 {
 			if err := c.conn.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
@@ -467,10 +482,19 @@ func (c *Client) readLoop() {
 						c.lats = append(c.lats, lat)
 					}
 					fn := c.latFn
+					cfn := c.compFn
 					c.latMu.Unlock()
 					if fn != nil {
 						fn(lat)
 					}
+					if cfn != nil {
+						// One clock read: ack = send + measured latency,
+						// so a span's duration is exactly the latency the
+						// histograms record.
+						sentNs := sentAt.Sub(c.start).Nanoseconds()
+						cfn(completions, sentNs, sentNs+lat.Nanoseconds())
+					}
+					completions++
 				default:
 					c.fail(errors.New("realtcp: response without pending request"))
 					return
